@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Extension scenario: scheduling onto a machine with mixed processor speeds
+(e.g. two fast nodes and two older, half-speed nodes).
+
+The paper's algorithms assume identical processors; they stay *correct* on a
+skewed machine (the validity checker and executor honour per-processor
+durations) but waste the fast nodes.  HEFT, the heterogeneity-aware
+extension, minimises finish times instead of start times.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from repro.machine import MachineModel
+from repro.metrics import utilization
+from repro.schedule import render_gantt
+from repro.schedulers import SCHEDULERS
+from repro.sim import execute
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+from repro.workloads import lu
+
+def main() -> None:
+    graph = lu(14, make_rng(5), ccr=1.0)
+    speeds = (2.0, 2.0, 1.0, 1.0)
+    machine = MachineModel(4, speeds=speeds)
+    print(
+        f"LU(14), V = {graph.num_tasks}, on 4 processors with speeds {speeds}\n"
+    )
+
+    rows = []
+    schedules = {}
+    for algo in ("heft", "flb", "mcp", "dsc-llb"):
+        s = SCHEDULERS[algo](graph, machine=machine)
+        s.validate()
+        assert execute(s).makespan <= s.makespan + 1e-6
+        schedules[algo] = s
+        util = utilization(s)
+        rows.append([algo, s.makespan, *(f"{u:.0%}" for u in util)])
+    rows.sort(key=lambda r: r[1])
+    print(
+        format_table(
+            ["algorithm", "makespan", "P0(2x)", "P1(2x)", "P2(1x)", "P3(1x)"],
+            rows,
+            title="makespan and per-processor utilisation",
+        )
+    )
+
+    best = rows[0][0]
+    print(f"\n{best} schedule:")
+    print(render_gantt(schedules[best], width=72))
+    print(
+        "\nreading: HEFT loads the fast processors harder; the homogeneous-"
+        "\nminded schedulers treat all four alike and lose on makespan."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables `pip install -e .` in offline environments without
+the `wheel` package (legacy editable path). All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

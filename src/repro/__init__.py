@@ -1,0 +1,34 @@
+"""repro — reproduction of "FLB: Fast Load Balancing for Distributed-Memory
+Machines" (Rădulescu & van Gemund, ICPP 1999).
+
+Public API highlights:
+
+* :class:`repro.graph.TaskGraph` — the weighted task-DAG program model.
+* :mod:`repro.workloads` — LU / Laplace / Stencil / FFT and other generators.
+* :func:`repro.core.flb` — the paper's FLB scheduling algorithm.
+* :mod:`repro.schedulers` — baselines (ETF, MCP, FCP, DLS, HLFET, DSC-LLB)
+  and the ``schedule_graph(graph, procs, algorithm=...)`` entry point.
+* :mod:`repro.sim` — discrete-event re-execution of schedules.
+* :mod:`repro.bench` — the experiment harness regenerating the paper's
+  tables and figures.
+"""
+
+from repro._version import __version__
+from repro.core import flb
+from repro.graph import TaskGraph
+from repro.machine import MachineModel
+
+__all__ = ["__version__", "TaskGraph", "MachineModel", "flb", "schedule_graph"]
+
+
+def schedule_graph(graph, num_procs, algorithm="flb", **kwargs):
+    """Schedule ``graph`` on ``num_procs`` processors with the named algorithm.
+
+    Convenience wrapper around :func:`repro.schedulers.get_scheduler`; see
+    :data:`repro.schedulers.SCHEDULERS` for available algorithm names.
+    (Named ``schedule_graph`` rather than ``schedule`` to avoid shadowing the
+    :mod:`repro.schedule` subpackage.)
+    """
+    from repro.schedulers import get_scheduler
+
+    return get_scheduler(algorithm)(graph, num_procs, **kwargs)

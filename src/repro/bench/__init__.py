@@ -1,0 +1,54 @@
+"""Experiment harness: the paper's workload suite, sweep runner, and
+reproductions of every table and figure."""
+
+from repro.bench.experiments import (
+    FIGURE_ALGORITHMS,
+    ExperimentReport,
+    run_ablation_llb,
+    run_ablation_ties,
+    run_all,
+    run_contention,
+    run_duplication,
+    run_heterogeneity,
+    run_extended_sweep,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_robustness,
+    run_scaling,
+    run_table1,
+)
+from repro.bench.runner import RunRecord, group_mean, run_sweep
+from repro.bench.suite import (
+    PAPER_CCRS,
+    PAPER_PROBLEMS,
+    PAPER_PROCS,
+    Instance,
+    paper_suite,
+)
+
+__all__ = [
+    "paper_suite",
+    "Instance",
+    "PAPER_PROBLEMS",
+    "PAPER_CCRS",
+    "PAPER_PROCS",
+    "run_sweep",
+    "RunRecord",
+    "group_mean",
+    "ExperimentReport",
+    "FIGURE_ALGORITHMS",
+    "run_table1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_scaling",
+    "run_ablation_ties",
+    "run_ablation_llb",
+    "run_robustness",
+    "run_contention",
+    "run_duplication",
+    "run_heterogeneity",
+    "run_extended_sweep",
+    "run_all",
+]

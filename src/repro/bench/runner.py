@@ -1,0 +1,87 @@
+"""Sweep runner: algorithms x instances x processor counts.
+
+Produces flat :class:`RunRecord` rows that the experiment reproductions
+(:mod:`repro.bench.experiments`) aggregate into the paper's figures and
+tables.  Timing uses :func:`repro.metrics.time_scheduler` (median of
+repeats, warm cache), quality comes straight from the schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.suite import Instance
+from repro.metrics.metrics import speedup, time_scheduler
+from repro.schedulers import SCHEDULERS
+
+__all__ = ["RunRecord", "run_sweep", "group_mean"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (instance, algorithm, P) measurement."""
+
+    problem: str
+    ccr: float
+    seed_index: int
+    algorithm: str
+    procs: int
+    makespan: float
+    speedup: float
+    seconds: Optional[float]  # None when timing was not requested
+
+
+def run_sweep(
+    instances: Iterable[Instance],
+    algorithms: Sequence[str],
+    procs_list: Sequence[int],
+    measure_time: bool = False,
+    time_repeats: int = 3,
+    validate: bool = False,
+) -> List[RunRecord]:
+    """Run every algorithm on every instance at every processor count."""
+    unknown = [a for a in algorithms if a not in SCHEDULERS]
+    if unknown:
+        raise ValueError(f"unknown algorithms: {unknown}")
+    records: List[RunRecord] = []
+    for inst in instances:
+        for procs in procs_list:
+            for algo in algorithms:
+                scheduler = SCHEDULERS[algo]
+                schedule = scheduler(inst.graph, procs)
+                if validate:
+                    schedule.validate()
+                seconds = (
+                    time_scheduler(scheduler, inst.graph, procs, repeats=time_repeats)
+                    if measure_time
+                    else None
+                )
+                records.append(
+                    RunRecord(
+                        problem=inst.problem,
+                        ccr=inst.ccr,
+                        seed_index=inst.seed_index,
+                        algorithm=algo,
+                        procs=procs,
+                        makespan=schedule.makespan,
+                        speedup=speedup(schedule),
+                        seconds=seconds,
+                    )
+                )
+    return records
+
+
+def group_mean(
+    records: Iterable[RunRecord],
+    key: Callable[[RunRecord], Tuple],
+    value: Callable[[RunRecord], float],
+) -> Dict[Tuple, float]:
+    """Group records by ``key`` and average ``value`` within each group."""
+    sums: Dict[Tuple, float] = {}
+    counts: Dict[Tuple, int] = {}
+    for rec in records:
+        k = key(rec)
+        sums[k] = sums.get(k, 0.0) + value(rec)
+        counts[k] = counts.get(k, 0) + 1
+    return {k: sums[k] / counts[k] for k in sums}

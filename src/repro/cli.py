@@ -1,0 +1,337 @@
+"""Command-line interface: ``repro-sched``.
+
+Subcommands::
+
+    generate    build a workload task graph and write it to JSON
+    schedule    schedule a graph (generated or loaded) and print the result
+    compare     run every algorithm on one instance, side by side
+    trace       print the FLB execution trace (Table 1 format)
+    experiment  regenerate the paper's tables/figures and the ablations
+
+Examples::
+
+    repro-sched generate --problem lu --tasks 500 --ccr 5.0 -o lu.json
+    repro-sched schedule --graph lu.json --procs 8 --algo flb --gantt
+    repro-sched schedule --problem stencil --tasks 400 --procs 8 --algo mcp
+    repro-sched compare --problem fft --tasks 300 --procs 16
+    repro-sched trace
+    repro-sched experiment fig2 --tasks 500 --seeds 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    run_ablation_llb,
+    run_ablation_ties,
+    run_all,
+    run_contention,
+    run_duplication,
+    run_heterogeneity,
+    run_extended_sweep,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_robustness,
+    run_scaling,
+    run_table1,
+)
+from repro.bench.suite import paper_suite
+from repro.core import TraceRecorder, flb, format_trace
+from repro.graph import load_json, save_json, width
+from repro.metrics import summarize, time_scheduler
+from repro.schedule import render_gantt
+from repro.schedulers import SCHEDULERS
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+from repro.workloads import (
+    cholesky,
+    cholesky_size_for_tasks,
+    fft,
+    fft_size_for_tasks,
+    laplace,
+    laplace_size_for_tasks,
+    lu,
+    lu_chain,
+    lu_size_for_tasks,
+    stencil,
+    stencil_size_for_tasks,
+    wavefront,
+    wavefront_size_for_tasks,
+)
+
+__all__ = ["main", "build_parser"]
+
+_PROBLEMS = ("lu", "lu-chain", "laplace", "stencil", "fft", "cholesky", "wavefront")
+
+_EXPERIMENTS = {
+    "table1": lambda args: run_table1(),
+    "fig2": lambda args: run_fig2(args.tasks, seeds=args.seeds, procs=(2, 8, 32), time_repeats=1),
+    "fig3": lambda args: run_fig3(args.tasks, seeds=args.seeds, procs=(1, 2, 8, 32)),
+    "fig4": lambda args: run_fig4(args.tasks, seeds=args.seeds, procs=(2, 8, 32)),
+    "scaling": lambda args: run_scaling(),
+    "ties": lambda args: run_ablation_ties(args.tasks, seeds=args.seeds),
+    "llb": lambda args: run_ablation_llb(args.tasks, seeds=args.seeds),
+    "robustness": lambda args: run_robustness(args.tasks, seeds=min(args.seeds, 3)),
+    "contention": lambda args: run_contention(args.tasks, seeds=min(args.seeds, 2)),
+    "duplication": lambda args: run_duplication(args.tasks, seeds=min(args.seeds, 2)),
+    "heterogeneity": lambda args: run_heterogeneity(args.tasks, seeds=min(args.seeds, 2)),
+    "extended": lambda args: run_extended_sweep(args.tasks, seeds=min(args.seeds, 2)),
+}
+
+
+def _build_problem(problem: str, tasks: int, ccr: float, seed: int):
+    rng = make_rng(seed)
+    if problem == "lu":
+        return lu(lu_size_for_tasks(tasks), rng, ccr=ccr)
+    if problem == "lu-chain":
+        return lu_chain(lu_size_for_tasks(tasks), rng, ccr=ccr)
+    if problem == "laplace":
+        grid, iters = laplace_size_for_tasks(tasks)
+        return laplace(grid, iters, rng, ccr=ccr)
+    if problem == "stencil":
+        cells, steps = stencil_size_for_tasks(tasks)
+        return stencil(cells, steps, rng, ccr=ccr)
+    if problem == "fft":
+        return fft(fft_size_for_tasks(tasks), rng, ccr=ccr)
+    if problem == "cholesky":
+        return cholesky(cholesky_size_for_tasks(tasks), rng, ccr=ccr)
+    if problem == "wavefront":
+        return wavefront(wavefront_size_for_tasks(tasks), rng, ccr=ccr)
+    raise SystemExit(f"unknown problem {problem!r}")
+
+
+def _resolve_graph(args) -> "TaskGraph":
+    if getattr(args, "graph", None):
+        return load_json(args.graph)
+    return _build_problem(args.problem, args.tasks, args.ccr, args.seed)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser, with_graph: bool = True) -> None:
+    if with_graph:
+        parser.add_argument("--graph", help="load a task graph from JSON instead of generating")
+    parser.add_argument("--problem", choices=_PROBLEMS, default="lu", help="workload family")
+    parser.add_argument("--tasks", type=int, default=500, help="approximate task count")
+    parser.add_argument("--ccr", type=float, default=1.0, help="communication-to-computation ratio")
+    parser.add_argument("--seed", type=int, default=0, help="weight RNG seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="FLB (ICPP 1999) reproduction: schedulers, workloads, experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a workload graph as JSON")
+    _add_workload_args(p_gen, with_graph=False)
+    p_gen.add_argument("-o", "--output", required=True, help="output JSON path")
+
+    p_sched = sub.add_parser("schedule", help="schedule a graph and print the result")
+    _add_workload_args(p_sched)
+    p_sched.add_argument("--procs", type=int, default=4)
+    p_sched.add_argument("--algo", choices=sorted(SCHEDULERS), default="flb")
+    p_sched.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p_sched.add_argument("--table", action="store_true", help="print the placement table")
+
+    p_cmp = sub.add_parser("compare", help="run every algorithm on one instance")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("--procs", type=int, default=8)
+
+    p_trace = sub.add_parser("trace", help="print an FLB execution trace (Table 1 format)")
+    p_trace.add_argument("--graph", help="JSON graph (default: the paper's Fig. 1 example)")
+    p_trace.add_argument("--procs", type=int, default=2)
+
+    p_an = sub.add_parser("analyze", help="print task-graph properties")
+    _add_workload_args(p_an)
+
+    p_exec = sub.add_parser(
+        "execute", help="schedule, then re-execute under perturbation/contention"
+    )
+    _add_workload_args(p_exec)
+    p_exec.add_argument("--procs", type=int, default=4)
+    p_exec.add_argument("--algo", choices=sorted(SCHEDULERS), default="flb")
+    p_exec.add_argument("--noise-cv", type=float, default=0.0,
+                        help="lognormal weight noise coefficient of variation")
+    p_exec.add_argument("--bandwidth", type=float, default=0.0,
+                        help="sender-port bandwidth (0 = contention-free)")
+    p_exec.add_argument("--draws", type=int, default=10)
+
+    p_exp = sub.add_parser("experiment", help="regenerate the paper's tables and figures")
+    p_exp.add_argument(
+        "which", choices=sorted(_EXPERIMENTS) + ["all"], help="experiment id"
+    )
+    p_exp.add_argument("--tasks", type=int, default=400)
+    p_exp.add_argument("--seeds", type=int, default=2)
+    p_exp.add_argument("-o", "--output", help="also write the report(s) to this file")
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    graph = _build_problem(args.problem, args.tasks, args.ccr, args.seed)
+    save_json(graph, args.output)
+    print(
+        f"wrote {args.problem}: V={graph.num_tasks} E={graph.num_edges} "
+        f"W={width(graph)} ccr={args.ccr:g} -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    graph = _resolve_graph(args)
+    schedule = SCHEDULERS[args.algo](graph, args.procs)
+    schedule.validate()
+    print(
+        f"{args.algo} on P={args.procs}: makespan {schedule.makespan:g} "
+        f"(V={graph.num_tasks}, E={graph.num_edges})"
+    )
+    for key, value in summarize(schedule).items():
+        print(f"  {key:>16s}: {value:.4g}")
+    if args.table:
+        print()
+        print(schedule.as_table())
+    if args.gantt:
+        print()
+        print(render_gantt(schedule, width=78))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph = _resolve_graph(args)
+    mcp_span = SCHEDULERS["mcp"](graph, args.procs).makespan
+    rows = []
+    for name in sorted(SCHEDULERS):
+        schedule = SCHEDULERS[name](graph, args.procs)
+        ms = time_scheduler(SCHEDULERS[name], graph, args.procs, repeats=1) * 1e3
+        rows.append([name, schedule.makespan, schedule.makespan / mcp_span, ms])
+    rows.sort(key=lambda r: r[1])
+    print(
+        format_table(
+            ["algorithm", "makespan", "NSL(vs MCP)", "time [ms]"],
+            rows,
+            title=f"{args.problem if not args.graph else args.graph}: "
+            f"V={graph.num_tasks} P={args.procs}",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    if args.graph:
+        graph = load_json(args.graph)
+    else:
+        from repro.workloads import paper_example
+
+        graph = paper_example()
+    recorder = TraceRecorder(graph)
+    schedule = flb(graph, args.procs, observer=recorder)
+    print(format_trace(recorder))
+    print(f"\nmakespan = {schedule.makespan:g}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.which == "all":
+        reports = run_all(args.tasks, seeds=args.seeds)
+    else:
+        reports = [_EXPERIMENTS[args.which](args)]
+    blocks = []
+    for report in reports:
+        block = f"== {report.experiment}: {report.title} ==\n{report.text}"
+        print(block)
+        print()
+        blocks.append(block)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text("\n\n".join(blocks) + "\n")
+        print(f"(written to {args.output})")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.graph import (
+        bottom_levels,
+        ccr,
+        critical_path_length,
+        parallelism_profile,
+    )
+
+    graph = _resolve_graph(args)
+    profile = parallelism_profile(graph)
+    print(f"tasks:          {graph.num_tasks}")
+    print(f"edges:          {graph.num_edges}")
+    print(f"width:          {width(graph)}")
+    print(f"depth:          {len(profile)}")
+    print(f"ccr:            {ccr(graph):.4g}")
+    print(f"serial time:    {graph.total_comp():.4g}")
+    print(f"critical path:  {critical_path_length(graph):.4g} (with comm)")
+    print(f"max bottom lvl: {max(bottom_levels(graph)):.4g}")
+    print(f"entry/exit:     {len(graph.entry_tasks)}/{len(graph.exit_tasks)}")
+    peak = max(profile)
+    print(f"level widths:   min {min(profile)}, max {peak}")
+    return 0
+
+
+def _cmd_execute(args) -> int:
+    import numpy as np
+
+    from repro.sim import execute, execute_contended, execute_perturbed
+
+    graph = _resolve_graph(args)
+    schedule = SCHEDULERS[args.algo](graph, args.procs)
+    print(f"planned makespan ({args.algo}, P={args.procs}): {schedule.makespan:g}")
+    exact = execute(schedule)
+    print(f"contention-free replay: {exact.makespan:g} "
+          f"({'matches' if exact.matches(schedule) else 'DIFFERS'})")
+    if args.bandwidth > 0:
+        contended = execute_contended(schedule, bandwidth=args.bandwidth)
+        print(
+            f"contended (bw={args.bandwidth:g}): {contended.makespan:g} "
+            f"({contended.makespan / schedule.makespan:.3f}x planned)"
+        )
+    if args.noise_cv > 0:
+        spans = [
+            execute_perturbed(
+                schedule, make_rng(1000 + i), args.noise_cv, args.noise_cv
+            ).makespan
+            for i in range(args.draws)
+        ]
+        arr = np.asarray(spans) / schedule.makespan
+        print(
+            f"perturbed (cv={args.noise_cv:g}, {args.draws} draws): "
+            f"mean {arr.mean():.3f}x, worst {arr.max():.3f}x planned"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "schedule": _cmd_schedule,
+    "compare": _cmd_compare,
+    "trace": _cmd_trace,
+    "analyze": _cmd_analyze,
+    "execute": _cmd_execute,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Duplication-based scheduling (extension): the paper's third algorithm
+class, implemented so its quality/cost trade-off can be measured."""
+
+from repro.duplication.dsh import dsh
+from repro.duplication.schedule import DuplicationSchedule, TaskCopy
+
+__all__ = ["dsh", "DuplicationSchedule", "TaskCopy"]

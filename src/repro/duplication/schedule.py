@@ -1,0 +1,175 @@
+"""Schedule representation for duplication-based scheduling.
+
+Duplication-based algorithms (DSH, BTDH, CPFD — the paper's Section 1
+taxonomy) may run *copies* of a task on several processors so that its
+consumers receive results locally instead of waiting for messages.  The
+single-placement :class:`repro.schedule.Schedule` cannot express that, so
+this module provides :class:`DuplicationSchedule`:
+
+* each task has one or more ``(proc, start, finish)`` copies;
+* a consumer's dependence on a predecessor is satisfied by **any** copy of
+  that predecessor (taking the earliest-arriving one);
+* validity requires every task to have at least one copy, no overlap on any
+  processor, and every copy's start to be no earlier than, for each
+  predecessor, the earliest arrival over that predecessor's copies.
+
+The parallel completion time counts *all* copies (redundant work still
+occupies processors): ``makespan = max_p PRT(p)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ScheduleError
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.model import MachineModel
+
+__all__ = ["DuplicationSchedule", "TaskCopy"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class TaskCopy:
+    """One placed copy of a task."""
+
+    task: int
+    proc: int
+    start: float
+    finish: float
+
+
+class DuplicationSchedule:
+    """Incremental schedule allowing multiple copies per task."""
+
+    def __init__(self, graph: TaskGraph, machine: MachineModel) -> None:
+        if not graph.frozen:
+            raise ScheduleError("schedule requires a frozen task graph")
+        self._graph = graph
+        self._machine = machine
+        self._copies: List[List[TaskCopy]] = [[] for _ in graph.tasks()]
+        self._proc_copies: List[List[TaskCopy]] = [[] for _ in machine.procs]
+        self._prt: List[float] = [0.0] * machine.num_procs
+
+    # -- construction ------------------------------------------------------
+
+    def place_copy(self, task: int, proc: int, start: float) -> TaskCopy:
+        """Append a copy of ``task`` on ``proc`` at ``start >= PRT(proc)``."""
+        if not 0 <= task < self._graph.num_tasks:
+            raise ScheduleError(f"unknown task {task}")
+        if not 0 <= proc < self._machine.num_procs:
+            raise ScheduleError(f"unknown processor {proc}")
+        if start < self._prt[proc] - _EPS:
+            raise ScheduleError(
+                f"copy of task {task} at {start} precedes PRT({proc}) = {self._prt[proc]}"
+            )
+        if any(c.proc == proc for c in self._copies[task]):
+            raise ScheduleError(f"task {task} already has a copy on processor {proc}")
+        copy = TaskCopy(
+            task, proc, start,
+            start + self._machine.duration(self._graph.comp(task), proc),
+        )
+        self._copies[task].append(copy)
+        self._proc_copies[proc].append(copy)
+        self._prt[proc] = copy.finish
+        return copy
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def graph(self) -> TaskGraph:
+        return self._graph
+
+    @property
+    def machine(self) -> MachineModel:
+        return self._machine
+
+    @property
+    def num_procs(self) -> int:
+        return self._machine.num_procs
+
+    def prt(self, proc: int) -> float:
+        return self._prt[proc]
+
+    def copies_of(self, task: int) -> Tuple[TaskCopy, ...]:
+        return tuple(self._copies[task])
+
+    def proc_copies(self, proc: int) -> Tuple[TaskCopy, ...]:
+        return tuple(self._proc_copies[proc])
+
+    def is_scheduled(self, task: int) -> bool:
+        return bool(self._copies[task])
+
+    @property
+    def complete(self) -> bool:
+        return all(self._copies[t] for t in self._graph.tasks())
+
+    @property
+    def makespan(self) -> float:
+        return max(self._prt)
+
+    def total_copies(self) -> int:
+        return sum(len(c) for c in self._copies)
+
+    def duplication_ratio(self) -> float:
+        """Copies per task; 1.0 means no duplication happened."""
+        return self.total_copies() / self._graph.num_tasks
+
+    def arrival_of_edge(self, pred: int, succ: int, proc: int) -> float:
+        """Earliest arrival of message ``pred -> succ`` at ``proc`` over all
+        copies of ``pred``."""
+        comm = self._graph.comm(pred, succ)
+        best = float("inf")
+        for copy in self._copies[pred]:
+            arrival = copy.finish + self._machine.comm_delay(copy.proc, proc, comm)
+            if arrival < best:
+                best = arrival
+        return best
+
+    # -- validation --------------------------------------------------------------
+
+    def violations(self) -> List[str]:
+        problems: List[str] = []
+        graph = self._graph
+        for t in graph.tasks():
+            if not self._copies[t]:
+                problems.append(f"task {t} has no copy")
+        for p in self._machine.procs:
+            ordered = sorted(self._proc_copies[p], key=lambda c: c.start)
+            for a, b in zip(ordered, ordered[1:]):
+                if b.start < a.finish - _EPS:
+                    problems.append(
+                        f"copies of tasks {a.task} and {b.task} overlap on "
+                        f"processor {p}"
+                    )
+        for t in graph.tasks():
+            for copy in self._copies[t]:
+                if copy.start < -_EPS:
+                    problems.append(f"copy of task {t} starts before 0")
+                for pred in graph.preds(t):
+                    if not self._copies[pred]:
+                        continue
+                    arrival = self.arrival_of_edge(pred, t, copy.proc)
+                    if copy.start < arrival - _EPS:
+                        problems.append(
+                            f"copy of task {t} on p{copy.proc} starts at "
+                            f"{copy.start} before message from {pred} "
+                            f"arrives at {arrival}"
+                        )
+        return problems
+
+    def validate(self) -> "DuplicationSchedule":
+        problems = self.violations()
+        if problems:
+            detail = "; ".join(problems[:5])
+            more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+            raise ScheduleError(f"invalid duplication schedule: {detail}{more}")
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"<DuplicationSchedule P={self.num_procs} copies={self.total_copies()} "
+            f"makespan={self.makespan:.3f}>"
+        )

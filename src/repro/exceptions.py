@@ -1,0 +1,41 @@
+"""Exception hierarchy for the FLB reproduction library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "FrozenGraphError",
+    "ScheduleError",
+    "InvalidScheduleError",
+    "SchedulerError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphError(ReproError):
+    """Invalid task-graph structure or usage."""
+
+
+class CycleError(GraphError):
+    """The task graph contains a cycle (it must be a DAG)."""
+
+
+class FrozenGraphError(GraphError):
+    """Attempted to mutate a frozen task graph."""
+
+
+class ScheduleError(ReproError):
+    """Invalid schedule construction or usage."""
+
+
+class InvalidScheduleError(ScheduleError):
+    """A schedule violates precedence, communication, or exclusivity rules."""
+
+
+class SchedulerError(ReproError):
+    """A scheduling algorithm was misconfigured or failed."""

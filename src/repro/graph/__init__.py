@@ -1,0 +1,45 @@
+"""Task-graph model and static analysis."""
+
+from repro.graph.io import (
+    from_json,
+    from_tg_text,
+    load_json,
+    save_json,
+    to_dot,
+    to_json,
+    to_tg_text,
+)
+from repro.graph.properties import (
+    alap_times,
+    bottom_levels,
+    ccr,
+    critical_path_length,
+    critical_path_tasks,
+    parallelism_profile,
+    static_levels,
+    top_levels,
+    width,
+    width_lower_bound,
+)
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = [
+    "TaskGraph",
+    "bottom_levels",
+    "top_levels",
+    "static_levels",
+    "alap_times",
+    "critical_path_length",
+    "critical_path_tasks",
+    "ccr",
+    "width",
+    "width_lower_bound",
+    "parallelism_profile",
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+    "to_tg_text",
+    "from_tg_text",
+    "to_dot",
+]

@@ -1,0 +1,142 @@
+"""Task-graph serialisation: JSON round-trip, a compact text format, and DOT.
+
+Three formats are supported:
+
+* **JSON** — the canonical interchange format (:func:`to_json` /
+  :func:`from_json` and file variants).  Stores task names, computation
+  costs, and weighted edges.
+* **TG text** — a line-oriented format convenient for hand-written fixtures
+  and close in spirit to the Standard Task Graph Set (STG) files used by the
+  scheduling community, extended with per-edge communication costs::
+
+      # comment
+      t <id> <comp> [name]
+      e <src> <dst> <comm>
+
+  Task ids must be ``0..V-1`` in any order.
+* **DOT** — export only, for visual inspection with Graphviz.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import GraphError
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = [
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+    "to_tg_text",
+    "from_tg_text",
+    "to_dot",
+]
+
+_FORMAT_VERSION = 1
+
+
+def to_json(graph: TaskGraph) -> str:
+    """Serialise a task graph to a JSON string."""
+    doc = {
+        "format": "repro-taskgraph",
+        "version": _FORMAT_VERSION,
+        "tasks": [
+            {"id": t, "comp": graph.comp(t), "name": graph.name(t)}
+            for t in graph.tasks()
+        ],
+        "edges": [
+            {"src": src, "dst": dst, "comm": comm} for src, dst, comm in graph.edges()
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def from_json(text: str) -> TaskGraph:
+    """Parse a task graph from a JSON string produced by :func:`to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid task-graph JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "repro-taskgraph":
+        raise GraphError("not a repro-taskgraph JSON document")
+    tasks = doc.get("tasks", [])
+    graph = TaskGraph()
+    by_id: Dict[int, dict] = {}
+    for entry in tasks:
+        by_id[int(entry["id"])] = entry
+    if sorted(by_id) != list(range(len(tasks))):
+        raise GraphError("task ids must be dense 0..V-1")
+    for tid in range(len(tasks)):
+        entry = by_id[tid]
+        graph.add_task(float(entry["comp"]), name=entry.get("name"))
+    for entry in doc.get("edges", []):
+        graph.add_edge(int(entry["src"]), int(entry["dst"]), float(entry["comm"]))
+    return graph.freeze()
+
+
+def save_json(graph: TaskGraph, path: Union[str, Path]) -> None:
+    Path(path).write_text(to_json(graph))
+
+
+def load_json(path: Union[str, Path]) -> TaskGraph:
+    return from_json(Path(path).read_text())
+
+
+def to_tg_text(graph: TaskGraph) -> str:
+    """Serialise to the compact TG text format."""
+    lines = [f"# repro task graph: V={graph.num_tasks} E={graph.num_edges}"]
+    for t in graph.tasks():
+        lines.append(f"t {t} {graph.comp(t)!r} {graph.name(t)}")
+    for src, dst, comm in graph.edges():
+        lines.append(f"e {src} {dst} {comm!r}")
+    return "\n".join(lines) + "\n"
+
+
+def from_tg_text(text: str) -> TaskGraph:
+    """Parse the TG text format (see module docstring)."""
+    comps: Dict[int, float] = {}
+    names: Dict[int, str] = {}
+    edges: List[tuple] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        try:
+            if kind == "t":
+                tid = int(parts[1])
+                if tid in comps:
+                    raise GraphError(f"line {lineno}: duplicate task id {tid}")
+                comps[tid] = float(parts[2])
+                if len(parts) > 3:
+                    names[tid] = parts[3]
+            elif kind == "e":
+                edges.append((int(parts[1]), int(parts[2]), float(parts[3])))
+            else:
+                raise GraphError(f"line {lineno}: unknown record {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise GraphError(f"line {lineno}: malformed record {line!r}") from exc
+    if sorted(comps) != list(range(len(comps))):
+        raise GraphError("task ids must be dense 0..V-1")
+    graph = TaskGraph()
+    for tid in range(len(comps)):
+        graph.add_task(comps[tid], name=names.get(tid))
+    for src, dst, comm in edges:
+        graph.add_edge(src, dst, comm)
+    return graph.freeze()
+
+
+def to_dot(graph: TaskGraph) -> str:
+    """Export to Graphviz DOT with comp/comm labels."""
+    lines = ["digraph taskgraph {", "  rankdir=TB;"]
+    for t in graph.tasks():
+        lines.append(f'  {t} [label="{graph.name(t)}\\n{graph.comp(t):g}"];')
+    for src, dst, comm in graph.edges():
+        lines.append(f'  {src} -> {dst} [label="{comm:g}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

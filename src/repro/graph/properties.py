@@ -1,0 +1,273 @@
+"""Static task-graph analysis: levels, critical path, width, CCR.
+
+These are the quantities the paper's Section 2 defines and its algorithms
+consume:
+
+* **bottom level** ``BL(t)`` — longest path (computation + communication)
+  from ``t`` to any exit task, *including* ``comp(t)``.  FLB and ETF use it
+  as the tie-breaking priority ("the longest path to any exit tasks").
+* **top level** ``TL(t)`` — longest path from any entry task to ``t``,
+  *excluding* ``comp(t)``; DSC's dynamic priority is ``TL + BL``.
+* **static level** ``SL(t)`` — bottom level without communication costs
+  (used by DLS and HLFET).
+* **ALAP** — latest possible start time, ``CP - BL(t)``; MCP's priority.
+* **critical path** ``CP`` — longest path through the graph including
+  communication; equals ``max_t BL(t)``.
+* **CCR** — average communication cost over average computation cost.
+* **width** ``W`` — the maximum number of pairwise path-unconnected tasks
+  (the maximum antichain).  The number of simultaneously ready tasks never
+  exceeds ``W``, which is where the ``log W`` in FLB's complexity comes from.
+
+Width is computed exactly via Dilworth's theorem (minimum chain cover of the
+transitive closure = ``V -`` maximum bipartite matching); the closure uses
+Python-int bitsets and the matching is Hopcroft–Karp, so graphs in the
+paper's size range (V ≈ 2000) are handled in seconds.  A cheap lower bound
+(the peak ready-set size of a sequential sweep) is also provided for quick
+reporting on very large graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = [
+    "bottom_levels",
+    "top_levels",
+    "static_levels",
+    "alap_times",
+    "critical_path_length",
+    "critical_path_tasks",
+    "ccr",
+    "width",
+    "width_lower_bound",
+    "parallelism_profile",
+    "transitive_closure_bitsets",
+]
+
+
+def bottom_levels(graph: TaskGraph) -> List[float]:
+    """``BL(t)`` for every task (communication included, ``comp(t)`` included)."""
+    graph.freeze()
+    bl = [0.0] * graph.num_tasks
+    for t in reversed(graph.topological_order):
+        best = 0.0
+        for s in graph.succs(t):
+            cand = graph.comm(t, s) + bl[s]
+            if cand > best:
+                best = cand
+        bl[t] = graph.comp(t) + best
+    return bl
+
+
+def top_levels(graph: TaskGraph) -> List[float]:
+    """``TL(t)`` for every task (communication included, ``comp(t)`` excluded)."""
+    graph.freeze()
+    tl = [0.0] * graph.num_tasks
+    for t in graph.topological_order:
+        best = 0.0
+        for p in graph.preds(t):
+            cand = tl[p] + graph.comp(p) + graph.comm(p, t)
+            if cand > best:
+                best = cand
+        tl[t] = best
+    return tl
+
+
+def static_levels(graph: TaskGraph) -> List[float]:
+    """``SL(t)``: bottom level ignoring communication costs (DLS, HLFET)."""
+    graph.freeze()
+    sl = [0.0] * graph.num_tasks
+    for t in reversed(graph.topological_order):
+        best = 0.0
+        for s in graph.succs(t):
+            if sl[s] > best:
+                best = sl[s]
+        sl[t] = graph.comp(t) + best
+    return sl
+
+
+def critical_path_length(graph: TaskGraph) -> float:
+    """Length of the longest path including communication (``max_t BL(t)``)."""
+    return max(bottom_levels(graph))
+
+
+def critical_path_tasks(graph: TaskGraph) -> List[int]:
+    """One critical path as a list of task ids, entry to exit."""
+    graph.freeze()
+    bl = bottom_levels(graph)
+    tl = top_levels(graph)
+    cp = max(bl)
+    # Start from an entry task on the critical path, then greedily follow
+    # successors that keep TL + BL == CP.
+    eps = 1e-9 * max(1.0, cp)
+    start = max(
+        (t for t in graph.entry_tasks),
+        key=lambda t: bl[t],
+    )
+    path = [start]
+    current = start
+    while graph.succs(current):
+        nxt = None
+        for s in graph.succs(current):
+            if abs(tl[s] + bl[s] - cp) <= eps and abs(
+                tl[current] + graph.comp(current) + graph.comm(current, s) - tl[s]
+            ) <= eps:
+                nxt = s
+                break
+        if nxt is None:
+            break
+        path.append(nxt)
+        current = nxt
+    return path
+
+
+def alap_times(graph: TaskGraph) -> List[float]:
+    """Latest possible start times, ``ALAP(t) = CP - BL(t)`` (MCP priorities)."""
+    bl = bottom_levels(graph)
+    cp = max(bl)
+    return [cp - b for b in bl]
+
+
+def ccr(graph: TaskGraph) -> float:
+    """Communication-to-computation ratio: mean comm cost / mean comp cost."""
+    v = graph.num_tasks
+    e = graph.num_edges
+    if e == 0:
+        return 0.0
+    mean_comp = graph.total_comp() / v
+    mean_comm = graph.total_comm() / e
+    return mean_comm / mean_comp
+
+
+def parallelism_profile(graph: TaskGraph) -> List[int]:
+    """Number of tasks per depth level (depth = longest hop count from entry)."""
+    graph.freeze()
+    depth = [0] * graph.num_tasks
+    for t in graph.topological_order:
+        for p in graph.preds(t):
+            if depth[p] + 1 > depth[t]:
+                depth[t] = depth[p] + 1
+    counts: Dict[int, int] = {}
+    for d in depth:
+        counts[d] = counts.get(d, 0) + 1
+    return [counts[d] for d in sorted(counts)]
+
+
+def width_lower_bound(graph: TaskGraph) -> int:
+    """Peak ready-set size of a sequential topological sweep.
+
+    All simultaneously ready tasks are pairwise unconnected, so this is a
+    valid antichain size, hence a lower bound on the true width.  ``O(V+E)``.
+    """
+    graph.freeze()
+    remaining = [graph.in_degree(t) for t in graph.tasks()]
+    ready = deque(graph.entry_tasks)
+    peak = len(ready)
+    while ready:
+        t = ready.popleft()
+        for s in graph.succs(t):
+            remaining[s] -= 1
+            if remaining[s] == 0:
+                ready.append(s)
+        if len(ready) > peak:
+            peak = len(ready)
+    return peak
+
+
+def transitive_closure_bitsets(graph: TaskGraph) -> List[int]:
+    """Reachability sets as Python-int bitsets: bit ``j`` of ``reach[i]`` is
+    set iff there is a non-empty path ``i -> j``.
+
+    ``O(V * E)`` word operations on ``V``-bit integers; fast in practice for
+    the graph sizes used in the paper.
+    """
+    graph.freeze()
+    n = graph.num_tasks
+    reach = [0] * n
+    for t in reversed(graph.topological_order):
+        r = 0
+        for s in graph.succs(t):
+            r |= (1 << s) | reach[s]
+        reach[t] = r
+    return reach
+
+
+def width(graph: TaskGraph) -> int:
+    """Exact task-graph width ``W`` (maximum antichain) via Dilworth.
+
+    The minimum number of chains covering the DAG equals ``V`` minus the size
+    of a maximum matching in the bipartite graph whose edges are the pairs of
+    the transitive closure, and by Dilworth's theorem the minimum chain cover
+    equals the maximum antichain.
+    """
+    graph.freeze()
+    n = graph.num_tasks
+    reach = transitive_closure_bitsets(graph)
+    adjacency = [_bits(reach[t]) for t in range(n)]
+    # Augmenting-path DFS recursion can be as deep as the longest chain.
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * n + 1000))
+    try:
+        matching = _hopcroft_karp(n, adjacency)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return n - matching
+
+
+def _bits(mask: int) -> List[int]:
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+def _hopcroft_karp(n: int, adjacency: Sequence[Sequence[int]]) -> int:
+    """Maximum bipartite matching (left = right = 0..n-1).  Returns its size."""
+    INF = float("inf")
+    match_left: List[int] = [-1] * n
+    match_right: List[int] = [-1] * n
+    dist: List[float] = [0.0] * n
+
+    def bfs() -> bool:
+        queue = deque()
+        for u in range(n):
+            if match_left[u] == -1:
+                dist[u] = 0
+                queue.append(u)
+            else:
+                dist[u] = INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right[v]
+                if w == -1:
+                    found = True
+                elif dist[w] == INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_right[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = INF
+        return False
+
+    matching = 0
+    while bfs():
+        for u in range(n):
+            if match_left[u] == -1 and dfs(u):
+                matching += 1
+    return matching

@@ -1,0 +1,274 @@
+"""The weighted task-graph (macro-dataflow) program model.
+
+A parallel program is a DAG ``G = (V, E)``: nodes are tasks with a positive
+computation cost ``comp(t)``; edges are dependencies with a non-negative
+communication cost ``comm(t, t')`` that is paid only when the two endpoints
+run on different processors (Section 2 of the paper).
+
+:class:`TaskGraph` is a build-then-freeze structure: tasks and edges are
+added freely, then :meth:`TaskGraph.freeze` validates acyclicity, fixes a
+topological order, and makes the graph immutable.  All schedulers require a
+frozen graph; freezing is idempotent and returns the graph itself, so
+``schedule(g.freeze(), ...)`` is always safe.
+
+Tasks are dense integer ids ``0..V-1`` (assigned in insertion order) with an
+optional human-readable name used by traces, Gantt charts, and DOT export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import CycleError, FrozenGraphError, GraphError
+
+__all__ = ["TaskGraph"]
+
+
+class TaskGraph:
+    """A directed acyclic task graph with computation and communication costs.
+
+    >>> g = TaskGraph()
+    >>> a = g.add_task(2.0, name="a")
+    >>> b = g.add_task(3.0, name="b")
+    >>> g.add_edge(a, b, comm=1.0)
+    >>> g.freeze()                                      # doctest: +ELLIPSIS
+    <TaskGraph V=2 E=1 ...>
+    >>> g.comp(b), g.comm(a, b), g.succs(a)
+    (3.0, 1.0, (1,))
+    """
+
+    __slots__ = (
+        "_comp",
+        "_names",
+        "_edges",
+        "_succs",
+        "_preds",
+        "_frozen",
+        "_topo",
+        "_entries",
+        "_exits",
+    )
+
+    def __init__(self) -> None:
+        self._comp: List[float] = []
+        self._names: List[Optional[str]] = []
+        self._edges: Dict[Tuple[int, int], float] = {}
+        self._succs: List[Tuple[int, ...]] = []
+        self._preds: List[Tuple[int, ...]] = []
+        self._frozen = False
+        self._topo: Tuple[int, ...] = ()
+        self._entries: Tuple[int, ...] = ()
+        self._exits: Tuple[int, ...] = ()
+
+    # -- construction -------------------------------------------------------
+
+    def add_task(self, comp: float, name: Optional[str] = None) -> int:
+        """Add a task with computation cost ``comp`` (> 0); return its id."""
+        self._check_mutable()
+        comp = float(comp)
+        if not comp > 0:
+            raise GraphError(f"task computation cost must be positive, got {comp}")
+        self._comp.append(comp)
+        self._names.append(name)
+        return len(self._comp) - 1
+
+    def add_tasks(self, comps: Iterable[float]) -> List[int]:
+        """Add several tasks; return their ids in order."""
+        return [self.add_task(c) for c in comps]
+
+    def add_edge(self, src: int, dst: int, comm: float = 0.0) -> None:
+        """Add a dependency ``src -> dst`` with communication cost ``comm``."""
+        self._check_mutable()
+        self._check_task(src)
+        self._check_task(dst)
+        if src == dst:
+            raise GraphError(f"self-loop on task {src}")
+        comm = float(comm)
+        if comm < 0:
+            raise GraphError(f"communication cost must be non-negative, got {comm}")
+        if (src, dst) in self._edges:
+            raise GraphError(f"duplicate edge ({src}, {dst})")
+        self._edges[(src, dst)] = comm
+
+    def set_name(self, task: int, name: str) -> None:
+        self._check_mutable()
+        self._check_task(task)
+        self._names[task] = name
+
+    def freeze(self) -> "TaskGraph":
+        """Validate the DAG, fix a topological order, and make immutable.
+
+        Idempotent.  Raises :class:`~repro.exceptions.CycleError` if the
+        graph has a cycle and :class:`~repro.exceptions.GraphError` if it is
+        empty.
+        """
+        if self._frozen:
+            return self
+        n = len(self._comp)
+        if n == 0:
+            raise GraphError("task graph has no tasks")
+        succ_lists: List[List[int]] = [[] for _ in range(n)]
+        pred_lists: List[List[int]] = [[] for _ in range(n)]
+        for (src, dst) in self._edges:
+            succ_lists[src].append(dst)
+            pred_lists[dst].append(src)
+        # Kahn's algorithm; FIFO over ids keeps the order deterministic.
+        indeg = [len(p) for p in pred_lists]
+        frontier = [t for t in range(n) if indeg[t] == 0]
+        topo: List[int] = []
+        head = 0
+        while head < len(frontier):
+            t = frontier[head]
+            head += 1
+            topo.append(t)
+            for s in succ_lists[t]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    frontier.append(s)
+        if len(topo) != n:
+            stuck = sorted(t for t in range(n) if indeg[t] > 0)
+            raise CycleError(f"task graph contains a cycle through tasks {stuck[:10]}")
+        self._succs = [tuple(sorted(s)) for s in succ_lists]
+        self._preds = [tuple(sorted(p)) for p in pred_lists]
+        self._topo = tuple(topo)
+        self._entries = tuple(t for t in range(n) if not self._preds[t])
+        self._exits = tuple(t for t in range(n) if not self._succs[t])
+        self._frozen = True
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def num_tasks(self) -> int:
+        """``V`` — the number of tasks."""
+        return len(self._comp)
+
+    @property
+    def num_edges(self) -> int:
+        """``E`` — the number of dependencies."""
+        return len(self._edges)
+
+    def tasks(self) -> range:
+        return range(len(self._comp))
+
+    def comp(self, task: int) -> float:
+        """Computation cost of ``task``."""
+        return self._comp[task]
+
+    @property
+    def comps(self) -> Tuple[float, ...]:
+        """All computation costs, indexed by task id."""
+        return tuple(self._comp)
+
+    def name(self, task: int) -> str:
+        name = self._names[task]
+        return name if name is not None else f"t{task}"
+
+    def comm(self, src: int, dst: int) -> float:
+        """Communication cost of edge ``src -> dst`` (KeyError if absent)."""
+        return self._edges[(src, dst)]
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._edges
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate ``(src, dst, comm)`` triples in insertion order."""
+        for (src, dst), comm in self._edges.items():
+            yield src, dst, comm
+
+    def succs(self, task: int) -> Tuple[int, ...]:
+        """Successor ids of ``task`` (frozen graphs only)."""
+        self._check_frozen()
+        return self._succs[task]
+
+    def preds(self, task: int) -> Tuple[int, ...]:
+        """Predecessor ids of ``task`` (frozen graphs only)."""
+        self._check_frozen()
+        return self._preds[task]
+
+    def in_degree(self, task: int) -> int:
+        self._check_frozen()
+        return len(self._preds[task])
+
+    def out_degree(self, task: int) -> int:
+        self._check_frozen()
+        return len(self._succs[task])
+
+    @property
+    def topological_order(self) -> Tuple[int, ...]:
+        self._check_frozen()
+        return self._topo
+
+    @property
+    def entry_tasks(self) -> Tuple[int, ...]:
+        """Tasks with no input edges."""
+        self._check_frozen()
+        return self._entries
+
+    @property
+    def exit_tasks(self) -> Tuple[int, ...]:
+        """Tasks with no output edges."""
+        self._check_frozen()
+        return self._exits
+
+    def total_comp(self) -> float:
+        """Sum of all computation costs (sequential execution time)."""
+        return sum(self._comp)
+
+    def total_comm(self) -> float:
+        """Sum of all communication costs."""
+        return sum(self._edges.values())
+
+    def __repr__(self) -> str:
+        state = "frozen" if self._frozen else "building"
+        return f"<TaskGraph V={self.num_tasks} E={self.num_edges} {state}>"
+
+    # -- helpers ---------------------------------------------------------------
+
+    def copy(self, mutable: bool = False) -> "TaskGraph":
+        """Return a copy; ``mutable=True`` yields an unfrozen copy."""
+        g = TaskGraph()
+        g._comp = list(self._comp)
+        g._names = list(self._names)
+        g._edges = dict(self._edges)
+        if self._frozen and not mutable:
+            g.freeze()
+        return g
+
+    def relabeled(self, permutation: Sequence[int]) -> "TaskGraph":
+        """Return a copy with task ids renamed by ``permutation``.
+
+        ``permutation[old_id] == new_id``; used by tests to check that
+        schedulers do not depend on accidental id ordering beyond their
+        documented tie-breaking.
+        """
+        n = self.num_tasks
+        if sorted(permutation) != list(range(n)):
+            raise GraphError("relabeling must be a permutation of task ids")
+        g = TaskGraph()
+        g._comp = [0.0] * n
+        g._names = [None] * n
+        for old in range(n):
+            g._comp[permutation[old]] = self._comp[old]
+            g._names[permutation[old]] = self._names[old]
+        for (src, dst), comm in self._edges.items():
+            g._edges[(permutation[src], permutation[dst])] = comm
+        if self._frozen:
+            g.freeze()
+        return g
+
+    def _check_task(self, task: int) -> None:
+        if not 0 <= task < len(self._comp):
+            raise GraphError(f"unknown task id {task}")
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise FrozenGraphError("task graph is frozen")
+
+    def _check_frozen(self) -> None:
+        if not self._frozen:
+            raise GraphError("operation requires a frozen task graph; call freeze()")

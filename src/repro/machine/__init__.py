@@ -1,0 +1,5 @@
+"""Machine model: homogeneous contention-free processor clique."""
+
+from repro.machine.model import MachineModel
+
+__all__ = ["MachineModel"]

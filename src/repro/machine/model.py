@@ -1,0 +1,106 @@
+"""The distributed-memory machine model.
+
+The paper assumes "a set P of P processors connected in homogeneous clique
+topology" with contention-free interprocessor communication, and zero
+communication cost between tasks on the same processor (Section 2).
+
+:class:`MachineModel` captures exactly that, with three extension hooks
+kept out of the paper's experiments but useful for sensitivity studies and
+the heterogeneous extension (HEFT; the authors' own follow-up work went
+heterogeneous):
+
+* ``comm_scale`` — multiplies every cross-processor communication cost
+  (models faster/slower interconnect relative to the task-graph's weights);
+* ``latency`` — fixed per-message start-up cost added to every
+  cross-processor message;
+* ``speeds`` — optional per-processor relative speeds: a task with
+  computation cost ``c`` runs for ``c / speeds[p]`` on processor ``p``
+  (``None`` = homogeneous, the paper's model).
+
+With the defaults the model is precisely the paper's:
+``delay(src, dst, cost) = cost`` when the processors differ, ``0``
+otherwise, and every task runs for exactly its computation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["MachineModel"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A contention-free clique of ``num_procs`` processors."""
+
+    num_procs: int
+    comm_scale: float = 1.0
+    latency: float = 0.0
+    speeds: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_procs < 1:
+            raise ValueError(f"num_procs must be >= 1, got {self.num_procs}")
+        if self.comm_scale < 0:
+            raise ValueError(f"comm_scale must be >= 0, got {self.comm_scale}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.speeds is not None:
+            speeds = tuple(float(s) for s in self.speeds)
+            if len(speeds) != self.num_procs:
+                raise ValueError(
+                    f"speeds must have one entry per processor "
+                    f"({self.num_procs}), got {len(speeds)}"
+                )
+            if any(s <= 0 for s in speeds):
+                raise ValueError("all processor speeds must be positive")
+            object.__setattr__(self, "speeds", speeds)
+
+    @property
+    def procs(self) -> range:
+        """Processor ids ``0 .. num_procs-1``."""
+        return range(self.num_procs)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return self.speeds is not None and len(set(self.speeds)) > 1
+
+    def duration(self, comp: float, proc: int) -> float:
+        """Execution time of a task with computation cost ``comp`` on ``proc``."""
+        if self.speeds is None:
+            return comp
+        return comp / self.speeds[proc]
+
+    def mean_duration(self, comp: float) -> float:
+        """Execution time averaged over processors (HEFT's rank weights)."""
+        if self.speeds is None:
+            return comp
+        return comp * sum(1.0 / s for s in self.speeds) / self.num_procs
+
+    def comm_delay(self, src_proc: int, dst_proc: int, cost: float) -> float:
+        """Delay for a message of weight ``cost`` between two processors.
+
+        Zero when both endpoints are the same processor; otherwise
+        ``latency + comm_scale * cost`` (paper default: ``cost``).
+        """
+        if src_proc == dst_proc:
+            return 0.0
+        return self.remote_delay(cost)
+
+    def remote_delay(self, cost: float) -> float:
+        """Delay for a message of weight ``cost`` that must cross processors.
+
+        This is what the paper's ``LMT`` uses: the arrival time assuming the
+        message is remote, regardless of where the consumer ends up.
+        """
+        return self.latency + self.comm_scale * cost
+
+    @property
+    def is_paper_model(self) -> bool:
+        """True when the model matches the paper's assumptions exactly."""
+        return (
+            self.comm_scale == 1.0
+            and self.latency == 0.0
+            and not self.is_heterogeneous
+        )

@@ -1,0 +1,25 @@
+"""Schedule-quality and scheduling-cost metrics."""
+
+from repro.metrics.metrics import (
+    CommStats,
+    comm_stats,
+    efficiency,
+    load_imbalance,
+    normalized_schedule_length,
+    speedup,
+    summarize,
+    time_scheduler,
+    utilization,
+)
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "normalized_schedule_length",
+    "utilization",
+    "load_imbalance",
+    "comm_stats",
+    "CommStats",
+    "summarize",
+    "time_scheduler",
+]

@@ -1,0 +1,33 @@
+"""Schedule representation, validation, analysis, I/O, and rendering."""
+
+from repro.schedule.analysis import (
+    IdleProfile,
+    critical_tasks,
+    idle_profile,
+    slack_times,
+)
+from repro.schedule.gantt import render_gantt
+from repro.schedule.io import (
+    load_schedule,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.schedule.schedule import Schedule, ScheduledTask
+from repro.schedule.svg import render_gantt_svg, save_gantt_svg
+
+__all__ = [
+    "Schedule",
+    "ScheduledTask",
+    "render_gantt",
+    "render_gantt_svg",
+    "save_gantt_svg",
+    "slack_times",
+    "critical_tasks",
+    "idle_profile",
+    "IdleProfile",
+    "schedule_to_json",
+    "schedule_from_json",
+    "save_schedule",
+    "load_schedule",
+]

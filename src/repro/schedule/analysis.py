@@ -1,0 +1,129 @@
+"""Post-hoc schedule analysis: slack, critical tasks, idle accounting.
+
+Given a complete schedule, the *scheduled graph* is the task DAG augmented
+with the processor-order edges the placement induced (task A immediately
+precedes task B on the same processor).  Over that combined precedence
+structure this module computes:
+
+* **latest start times** and per-task **slack** — how far a task can slip
+  without extending the makespan, keeping the assignment and processor
+  order fixed;
+* the **schedule-critical tasks** (zero slack) — the chain that actually
+  determines the makespan, which is generally *not* the graph-theoretic
+  critical path once communication and processor contention are placed;
+* per-processor **idle-time accounting** — how much of each processor's
+  timeline is spent working vs. waiting.
+
+These are the quantities a performance engineer inspects to decide whether
+a longer-than-expected schedule is communication-bound (stalls before
+critical tasks) or balance-bound (idle tails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ScheduleError
+from repro.schedule.schedule import Schedule
+
+__all__ = ["slack_times", "critical_tasks", "idle_profile", "IdleProfile"]
+
+_EPS = 1e-9
+
+
+def _scheduled_successors(schedule: Schedule) -> List[List[Tuple[int, float]]]:
+    """Successors of each task in the scheduled graph as ``(succ, delay)``:
+    graph edges carry their (placement-dependent) communication delay,
+    processor-order edges carry zero."""
+    graph = schedule.graph
+    machine = schedule.machine
+    succs: List[List[Tuple[int, float]]] = [[] for _ in graph.tasks()]
+    for src, dst, comm in graph.edges():
+        delay = machine.comm_delay(schedule.proc_of(src), schedule.proc_of(dst), comm)
+        succs[src].append((dst, delay))
+    for p in machine.procs:
+        order = schedule.proc_tasks(p)
+        for a, b in zip(order, order[1:]):
+            succs[a].append((b, 0.0))
+    return succs
+
+
+def slack_times(schedule: Schedule) -> List[float]:
+    """Per-task slack: the maximum uniform delay of the task's start that
+    leaves the makespan unchanged (assignment and processor order fixed).
+
+    Computed as ``LST(t) - ST(t)`` where latest start times run a backward
+    pass over the scheduled graph from the makespan.
+    """
+    if not schedule.complete:
+        raise ScheduleError("slack analysis requires a complete schedule")
+    graph = schedule.graph
+    succs = _scheduled_successors(schedule)
+    makespan = schedule.makespan
+    lft = [makespan] * graph.num_tasks  # latest finish
+    # Process in reverse global start order: that is a reverse topological
+    # order of the scheduled graph (all its edges go forward in time).
+    order = sorted(graph.tasks(), key=lambda t: schedule.start_of(t))
+    machine = schedule.machine
+    for t in reversed(order):
+        for succ, delay in succs[t]:
+            duration = machine.duration(graph.comp(succ), schedule.proc_of(succ))
+            latest = lft[succ] - duration - delay
+            if latest < lft[t]:
+                lft[t] = latest
+    return [lft[t] - schedule.finish_of(t) for t in graph.tasks()]
+
+
+def critical_tasks(schedule: Schedule, tol: float = 1e-9) -> List[int]:
+    """Tasks with (near-)zero slack: the chain that pins the makespan."""
+    return [t for t, s in enumerate(slack_times(schedule)) if s <= tol]
+
+
+@dataclass(frozen=True)
+class IdleProfile:
+    """Per-processor timeline accounting over the makespan."""
+
+    busy: Tuple[float, ...]
+    idle_internal: Tuple[float, ...]  # gaps between tasks (waiting on messages)
+    idle_leading: Tuple[float, ...]  # before the first task
+    idle_trailing: Tuple[float, ...]  # after the last task
+
+    @property
+    def total_idle(self) -> float:
+        return (
+            sum(self.idle_internal) + sum(self.idle_leading) + sum(self.idle_trailing)
+        )
+
+
+def idle_profile(schedule: Schedule) -> IdleProfile:
+    """Break each processor's makespan window into busy / waiting segments."""
+    if not schedule.complete:
+        raise ScheduleError("idle analysis requires a complete schedule")
+    graph = schedule.graph
+    makespan = schedule.makespan
+    busy: List[float] = []
+    internal: List[float] = []
+    leading: List[float] = []
+    trailing: List[float] = []
+    for p in schedule.machine.procs:
+        order = schedule.proc_tasks(p)
+        if not order:
+            busy.append(0.0)
+            internal.append(0.0)
+            leading.append(0.0)
+            trailing.append(makespan)
+            continue
+        busy.append(sum(schedule.finish_of(t) - schedule.start_of(t) for t in order))
+        leading.append(schedule.start_of(order[0]))
+        trailing.append(makespan - schedule.finish_of(order[-1]))
+        gaps = 0.0
+        for a, b in zip(order, order[1:]):
+            gaps += schedule.start_of(b) - schedule.finish_of(a)
+        internal.append(gaps)
+    return IdleProfile(
+        busy=tuple(busy),
+        idle_internal=tuple(internal),
+        idle_leading=tuple(leading),
+        idle_trailing=tuple(trailing),
+    )

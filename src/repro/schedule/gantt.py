@@ -1,0 +1,48 @@
+"""ASCII Gantt-chart rendering of schedules.
+
+Renders each processor as one row on a discretised time axis; task cells are
+filled with the task's name (truncated to its cell width) and idle time with
+dots.  Intended for examples, the CLI, and debugging — precise enough to eyeball
+load balance and communication stalls on small schedules.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.schedule.schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(schedule: Schedule, width: int = 78, show_axis: bool = True) -> str:
+    """Render ``schedule`` as an ASCII Gantt chart ``width`` columns wide."""
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    graph = schedule.graph
+    scale = width / makespan
+
+    def col(t: float) -> int:
+        return min(width, max(0, round(t * scale)))
+
+    lines: List[str] = []
+    label_w = len(f"P{schedule.num_procs - 1}")
+    for p in schedule.machine.procs:
+        row = ["."] * width
+        for task in schedule.proc_tasks(p):
+            lo = col(schedule.start_of(task))
+            hi = max(lo + 1, col(schedule.finish_of(task)))
+            cell = max(1, hi - lo)
+            name = graph.name(task)
+            text = name[:cell].center(cell, "=") if cell >= 3 else "=" * cell
+            for i, ch in enumerate(text):
+                if lo + i < width:
+                    row[lo + i] = ch
+        lines.append(f"P{p}".ljust(label_w) + " |" + "".join(row) + "|")
+    if show_axis:
+        axis = f"0{'':{max(1, width - len(f'{makespan:g}') - 1)}}{makespan:g}"
+        lines.append(" " * label_w + "  " + axis)
+    return "\n".join(lines)

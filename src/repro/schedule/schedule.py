@@ -1,0 +1,295 @@
+"""Schedule representation and validity checking.
+
+A :class:`Schedule` maps every task of a frozen :class:`~repro.graph.TaskGraph`
+to a processor, a start time ``ST`` and a finish time ``FT`` (Section 2 of
+the paper).  Schedulers build it incrementally with :meth:`Schedule.place`;
+the class maintains the per-processor ready times ``PRT(p)`` that all the
+algorithms consult.
+
+Because every scheduler in this repository is a non-insertion list
+scheduler, tasks are appended to a processor at or after its current ready
+time; :meth:`place` enforces this, which keeps per-processor task lists
+sorted by construction.
+
+:meth:`Schedule.violations` re-checks the three correctness conditions from
+first principles (used by the test suite on every scheduler output):
+
+1. every task is scheduled exactly once with ``FT = ST + comp``;
+2. tasks on the same processor do not overlap;
+3. every task starts no earlier than each predecessor's finish time plus the
+   machine's communication delay (zero for same-processor predecessors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidScheduleError, ScheduleError
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.model import MachineModel
+
+__all__ = ["Schedule", "ScheduledTask"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """Placement record for one task."""
+
+    task: int
+    proc: int
+    start: float
+    finish: float
+
+
+class Schedule:
+    """An (incrementally built) mapping of tasks to processors and times."""
+
+    def __init__(self, graph: TaskGraph, machine: MachineModel) -> None:
+        if not graph.frozen:
+            raise ScheduleError("schedule requires a frozen task graph")
+        self._graph = graph
+        self._machine = machine
+        n = graph.num_tasks
+        self._proc: List[int] = [-1] * n
+        self._start: List[float] = [0.0] * n
+        self._finish: List[float] = [0.0] * n
+        self._placed: List[bool] = [False] * n
+        self._num_placed = 0
+        self._proc_tasks: List[List[int]] = [[] for _ in machine.procs]
+        self._prt: List[float] = [0.0] * machine.num_procs
+
+    # -- construction -----------------------------------------------------
+
+    def place(
+        self, task: int, proc: int, start: float, insertion: bool = False
+    ) -> ScheduledTask:
+        """Schedule ``task`` on ``proc`` starting at ``start``.
+
+        The finish time is ``start + machine.duration(comp(task), proc)``
+        (plain ``start + comp`` on the paper's homogeneous machine).  By default placement is
+        non-insertion list scheduling: the start must respect the
+        processor's current ready time.  With ``insertion=True`` the task
+        may instead be slotted into an earlier idle gap, provided it fits
+        without overlapping the processor's existing tasks (insertion-based
+        variants of MCP/HLFET use this).
+        """
+        if not 0 <= task < self._graph.num_tasks:
+            raise ScheduleError(f"unknown task {task}")
+        if not 0 <= proc < self._machine.num_procs:
+            raise ScheduleError(f"unknown processor {proc}")
+        if self._placed[task]:
+            raise ScheduleError(f"task {task} is already scheduled")
+        if start < -_EPS:
+            raise ScheduleError(f"task {task} start {start} is negative")
+        finish = start + self._machine.duration(self._graph.comp(task), proc)
+        tasks_on_proc = self._proc_tasks[proc]
+        if start >= self._prt[proc] - _EPS:
+            position = len(tasks_on_proc)
+        elif not insertion:
+            raise ScheduleError(
+                f"task {task} start {start} precedes PRT({proc}) = {self._prt[proc]}"
+            )
+        else:
+            position = self._insertion_position(proc, start, finish, task)
+        self._proc[task] = proc
+        self._start[task] = start
+        self._finish[task] = finish
+        self._placed[task] = True
+        self._num_placed += 1
+        tasks_on_proc.insert(position, task)
+        if finish > self._prt[proc]:
+            self._prt[proc] = finish
+        return ScheduledTask(task, proc, start, finish)
+
+    def _insertion_position(
+        self, proc: int, start: float, finish: float, task: int
+    ) -> int:
+        """Index at which ``[start, finish)`` fits into ``proc``'s idle gaps."""
+        import bisect
+
+        tasks_on_proc = self._proc_tasks[proc]
+        starts = [self._start[t] for t in tasks_on_proc]
+        position = bisect.bisect_right(starts, start)
+        if position > 0:
+            prev = tasks_on_proc[position - 1]
+            if self._finish[prev] > start + _EPS:
+                raise ScheduleError(
+                    f"task {task} insertion at {start} overlaps task {prev} "
+                    f"finishing at {self._finish[prev]} on processor {proc}"
+                )
+        if position < len(tasks_on_proc):
+            nxt = tasks_on_proc[position]
+            if finish > self._start[nxt] + _EPS:
+                raise ScheduleError(
+                    f"task {task} insertion ending {finish} overlaps task {nxt} "
+                    f"starting at {self._start[nxt]} on processor {proc}"
+                )
+        return position
+
+    def earliest_gap(self, proc: int, lower_bound: float, duration: float) -> float:
+        """Earliest start >= ``lower_bound`` at which a ``duration``-long task
+        fits on ``proc`` — inside an idle gap or after the last task.
+
+        ``O(tasks on proc)``; the building block of insertion-based
+        placement.
+        """
+        candidate = max(lower_bound, 0.0)
+        for t in self._proc_tasks[proc]:
+            if self._start[t] - candidate >= duration - _EPS:
+                return candidate
+            if self._finish[t] > candidate:
+                candidate = self._finish[t]
+        return candidate
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def graph(self) -> TaskGraph:
+        return self._graph
+
+    @property
+    def machine(self) -> MachineModel:
+        return self._machine
+
+    @property
+    def num_procs(self) -> int:
+        return self._machine.num_procs
+
+    def is_scheduled(self, task: int) -> bool:
+        return self._placed[task]
+
+    @property
+    def complete(self) -> bool:
+        """True when every task has been placed."""
+        return self._num_placed == self._graph.num_tasks
+
+    def proc_of(self, task: int) -> int:
+        """``PROC(t)``; raises if the task is unscheduled."""
+        self._check_placed(task)
+        return self._proc[task]
+
+    def start_of(self, task: int) -> float:
+        """``ST(t)``."""
+        self._check_placed(task)
+        return self._start[task]
+
+    def finish_of(self, task: int) -> float:
+        """``FT(t)``."""
+        self._check_placed(task)
+        return self._finish[task]
+
+    def entry(self, task: int) -> ScheduledTask:
+        self._check_placed(task)
+        return ScheduledTask(task, self._proc[task], self._start[task], self._finish[task])
+
+    def prt(self, proc: int) -> float:
+        """Processor ready time: finish of the last task on ``proc``."""
+        return self._prt[proc]
+
+    def proc_tasks(self, proc: int) -> Tuple[int, ...]:
+        """Tasks assigned to ``proc`` in execution order."""
+        return tuple(self._proc_tasks[proc])
+
+    def assignment(self) -> Dict[int, int]:
+        """``{task: proc}`` for all scheduled tasks."""
+        return {t: self._proc[t] for t in self._graph.tasks() if self._placed[t]}
+
+    def __iter__(self) -> Iterator[ScheduledTask]:
+        """Iterate placements in global start-time order."""
+        order = sorted(
+            (t for t in self._graph.tasks() if self._placed[t]),
+            key=lambda t: (self._start[t], self._proc[t]),
+        )
+        for t in order:
+            yield self.entry(t)
+
+    def __len__(self) -> int:
+        return self._num_placed
+
+    @property
+    def makespan(self) -> float:
+        """Parallel completion time ``T_par = max_p PRT(p)``."""
+        return max(self._prt)
+
+    def num_procs_used(self) -> int:
+        return sum(1 for tasks in self._proc_tasks if tasks)
+
+    def __repr__(self) -> str:
+        done = "complete" if self.complete else f"{self._num_placed}/{self._graph.num_tasks}"
+        return (
+            f"<Schedule P={self.num_procs} {done} "
+            f"makespan={self.makespan:.3f}>"
+        )
+
+    # -- validation -----------------------------------------------------------
+
+    def violations(self) -> List[str]:
+        """Check all schedule-correctness conditions; return human-readable
+        descriptions of every violation (empty list = valid)."""
+        graph, machine = self._graph, self._machine
+        problems: List[str] = []
+        for t in graph.tasks():
+            if not self._placed[t]:
+                problems.append(f"task {t} is not scheduled")
+                continue
+            if self._start[t] < -_EPS:
+                problems.append(f"task {t} starts before time 0 ({self._start[t]})")
+            expected = self._start[t] + machine.duration(graph.comp(t), self._proc[t])
+            if abs(self._finish[t] - expected) > _EPS:
+                problems.append(
+                    f"task {t}: FT {self._finish[t]} != ST + comp = {expected}"
+                )
+        # Processor exclusivity.
+        for p in machine.procs:
+            ordered = sorted(self._proc_tasks[p], key=lambda t: self._start[t])
+            for a, b in zip(ordered, ordered[1:]):
+                if self._start[b] < self._finish[a] - _EPS:
+                    problems.append(
+                        f"tasks {a} and {b} overlap on processor {p}: "
+                        f"[{self._start[a]}, {self._finish[a]}) vs "
+                        f"[{self._start[b]}, {self._finish[b]})"
+                    )
+        # Precedence + communication.
+        for src, dst, comm in graph.edges():
+            if not (self._placed[src] and self._placed[dst]):
+                continue
+            delay = machine.comm_delay(self._proc[src], self._proc[dst], comm)
+            earliest = self._finish[src] + delay
+            if self._start[dst] < earliest - _EPS:
+                problems.append(
+                    f"edge ({src}->{dst}): task {dst} starts at {self._start[dst]} "
+                    f"before message arrival {earliest}"
+                )
+        return problems
+
+    def validate(self) -> "Schedule":
+        """Raise :class:`InvalidScheduleError` on any violation; else return self."""
+        problems = self.violations()
+        if problems:
+            detail = "; ".join(problems[:5])
+            more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+            raise InvalidScheduleError(f"invalid schedule: {detail}{more}")
+        return self
+
+    # -- rendering ---------------------------------------------------------------
+
+    def as_table(self) -> str:
+        """Render placements as an aligned text table (start-time order)."""
+        from repro.util.tables import format_table
+
+        rows = [
+            (self._graph.name(e.task), e.task, e.proc, e.start, e.finish)
+            for e in self
+        ]
+        return format_table(
+            ["task", "id", "proc", "start", "finish"],
+            rows,
+            title=f"schedule on {self.num_procs} processors, makespan {self.makespan:g}",
+        )
+
+    def _check_placed(self, task: int) -> None:
+        if not self._placed[task]:
+            raise ScheduleError(f"task {task} is not scheduled")

@@ -1,0 +1,96 @@
+"""FCP — Fast Critical Path (Rădulescu & van Gemund, ICS 1999; ref [7]).
+
+FLB's direct ancestor.  FCP keeps the ready tasks in a priority queue
+ordered by a *static* priority (the bottom level — hence "critical path"),
+and schedules, at each iteration, the highest-priority ready task.  Its key
+result (reused by FLB) is that only **two processors** need to be considered
+to start that task the earliest:
+
+* the task's enabling processor (where its last message originates), and
+* the processor that becomes idle the earliest.
+
+The difference from FLB is purely in *task* selection: FCP picks the ready
+task with the best static priority, which need not be the task that can
+start the earliest; FLB strengthens the selection to the ETF criterion at
+the same asymptotic cost.  Complexity: ``O(V (log W + log P) + E)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph.properties import bottom_levels
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.model import MachineModel
+from repro.schedule.schedule import Schedule
+from repro.schedulers.base import resolve_machine
+from repro.util.heap import IndexedHeap
+
+__all__ = ["fcp"]
+
+
+def fcp(
+    graph: TaskGraph,
+    num_procs: Optional[int] = None,
+    machine: Optional[MachineModel] = None,
+) -> Schedule:
+    """Schedule ``graph`` with FCP.  See module docstring."""
+    graph.freeze()
+    machine = resolve_machine(num_procs, machine)
+    schedule = Schedule(graph, machine)
+    bl = bottom_levels(graph)
+    n = graph.num_tasks
+
+    ready: IndexedHeap = IndexedHeap()  # key: (-bottom level, id)
+    idle: IndexedHeap = IndexedHeap()  # processors by (PRT, id)
+    for p in machine.procs:
+        idle.push(p, (0.0, p))
+    # Cached per-ready-task data: last message arrival and enabling processor.
+    lmt = [0.0] * n
+    ep = [0] * n
+    unscheduled_preds = [graph.in_degree(t) for t in graph.tasks()]
+    for t in graph.entry_tasks:
+        ready.push(t, (-bl[t], t))
+
+    while ready:
+        task, _ = ready.pop()
+        # Candidate 1: the enabling processor (last message becomes free).
+        ep_proc = ep[task]
+        emt_ep = 0.0
+        for pred in graph.preds(task):
+            arrival = schedule.finish_of(pred) + machine.comm_delay(
+                schedule.proc_of(pred), ep_proc, graph.comm(pred, task)
+            )
+            if arrival > emt_ep:
+                emt_ep = arrival
+        est_ep = max(emt_ep, schedule.prt(ep_proc))
+        # Candidate 2: the earliest-idle processor (all messages remote).
+        idle_proc = idle.peek_item()
+        assert idle_proc is not None
+        est_idle = max(lmt[task], schedule.prt(idle_proc))
+        if est_ep <= est_idle:
+            proc, est = ep_proc, est_ep
+        else:
+            proc, est = idle_proc, est_idle
+
+        placed = schedule.place(task, proc, est)
+        idle.update(proc, (placed.finish, proc))
+
+        for succ in graph.succs(task):
+            unscheduled_preds[succ] -= 1
+            if unscheduled_preds[succ] > 0:
+                continue
+            best = (-1.0, -1.0, -1)
+            for pred in graph.preds(succ):
+                ft = schedule.finish_of(pred)
+                arrival = ft + machine.remote_delay(graph.comm(pred, succ))
+                key = (arrival, ft, pred)
+                if key > best:
+                    best = key
+                    lmt[succ] = arrival
+                    ep[succ] = schedule.proc_of(pred)
+            if not graph.preds(succ):  # unreachable: succ has a pred (task)
+                lmt[succ] = 0.0
+            ready.push(succ, (-bl[succ], succ))
+
+    return schedule

@@ -1,0 +1,13 @@
+"""Discrete-event simulation: schedule re-execution and perturbation studies."""
+
+from repro.sim.contention import execute_contended
+from repro.sim.desim import Simulator
+from repro.sim.executor import ExecutionResult, execute, execute_perturbed
+
+__all__ = [
+    "Simulator",
+    "ExecutionResult",
+    "execute",
+    "execute_perturbed",
+    "execute_contended",
+]

@@ -1,0 +1,131 @@
+"""Link-contention execution model (extension X5).
+
+The paper assumes interprocessor communication "without contention": any
+number of messages may be in flight simultaneously.  Real machines serialise
+messages on each node's network interface.  This module re-executes a
+schedule under a **single-port sender model**: each processor has one
+outgoing port; outbound messages queue FIFO (in task finish order).  A
+message of weight ``c`` occupies the port for ``remote_delay(c) /
+bandwidth`` (injection) and arrives ``remote_delay(c)`` after its injection
+starts (wire latency unchanged from the paper's model).  Contention can
+therefore only *add* delay: at any bandwidth the contended times dominate
+the contention-free replay, and as ``bandwidth`` grows they converge to it.
+
+Comparing :func:`execute_contended` against the contention-free replay
+(:func:`repro.sim.executor.execute`) measures how much of a schedule's
+promised makespan survives when the paper's contention-free assumption is
+violated — and how that degradation grows as schedules get more
+communication-heavy (CCR) or more spread out (P).
+
+The assignment and per-processor task order stay fixed (self-timed
+execution), exactly as in the perturbation study.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+from repro.exceptions import ScheduleError
+from repro.schedule.schedule import Schedule
+from repro.sim.desim import Simulator
+from repro.sim.executor import ExecutionResult
+
+__all__ = ["execute_contended"]
+
+
+def execute_contended(schedule: Schedule, bandwidth: float = 1.0) -> ExecutionResult:
+    """Self-timed replay with single-port FIFO sender contention.
+
+    ``bandwidth`` scales the sender port's injection rate: a message of
+    weight ``c`` blocks the port for ``machine.remote_delay(c) / bandwidth``
+    and is delivered ``machine.remote_delay(c)`` after injection starts.
+    Results dominate the contention-free replay at every bandwidth and
+    converge to it as ``bandwidth`` grows.
+    """
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    graph = schedule.graph
+    machine = schedule.machine
+    if not schedule.complete:
+        raise ScheduleError("cannot execute an incomplete schedule")
+
+    n = graph.num_tasks
+    sim = Simulator()
+    start = [0.0] * n
+    finish = [0.0] * n
+    remaining_msgs = [graph.in_degree(t) for t in graph.tasks()]
+    proc_queue = [list(schedule.proc_tasks(p)) for p in machine.procs]
+    proc_pos = [0] * machine.num_procs
+    proc_free = [True] * machine.num_procs
+    busy = [0.0] * machine.num_procs
+    executed = 0
+
+    # Single-port sender NICs: FIFO of (dst_task, wire_delay).
+    port_queue: List[Deque[Tuple[int, float]]] = [deque() for _ in machine.procs]
+    port_free = [True] * machine.num_procs
+
+    def pump_port(p: int) -> None:
+        if not port_free[p] or not port_queue[p]:
+            return
+        dst_task, wire_delay = port_queue[p].popleft()
+        port_free[p] = False
+        # The port is blocked for the injection time; the message lands one
+        # full wire delay after injection starts.
+        sim.after(wire_delay, lambda: deliver(dst_task))
+
+        def injection_done() -> None:
+            port_free[p] = True
+            pump_port(p)
+
+        sim.after(wire_delay / bandwidth, injection_done)
+
+    def deliver(task: int) -> None:
+        remaining_msgs[task] -= 1
+        try_start(schedule.proc_of(task))
+
+    def try_start(p: int) -> None:
+        nonlocal executed
+        if not proc_free[p] or proc_pos[p] >= len(proc_queue[p]):
+            return
+        task = proc_queue[p][proc_pos[p]]
+        if remaining_msgs[task] > 0:
+            return
+        proc_free[p] = False
+        proc_pos[p] += 1
+        start[task] = sim.now
+        duration = machine.duration(graph.comp(task), p)
+        busy[p] += duration
+        executed += 1
+
+        def finish_task() -> None:
+            finish[task] = sim.now
+            proc_free[p] = True
+            for succ in graph.succs(task):
+                if schedule.proc_of(succ) == p:
+                    deliver(succ)
+                else:
+                    wire_delay = machine.remote_delay(graph.comm(task, succ))
+                    port_queue[p].append((succ, wire_delay))
+            pump_port(p)
+            try_start(p)
+
+        sim.after(duration, finish_task)
+
+    for p in machine.procs:
+        sim.at(0.0, lambda p=p: try_start(p))
+    events = sim.run()
+
+    if executed != n:
+        stuck = [t for t in graph.tasks() if remaining_msgs[t] > 0]
+        raise ScheduleError(
+            f"contended execution deadlocked; {len(stuck)} tasks starved "
+            f"(first few: {stuck[:5]})"
+        )
+    return ExecutionResult(
+        start=tuple(start),
+        finish=tuple(finish),
+        makespan=max(finish),
+        busy_time=tuple(busy),
+        events=events,
+    )

@@ -1,0 +1,198 @@
+"""Discrete-event re-execution of schedules.
+
+A compile-time schedule fixes, per processor, the task *sequence*; the
+actual run is **self-timed**: each processor starts its next task as soon as
+(a) its previous task has finished and (b) every incoming message has
+arrived (messages leave when the producing task finishes and take the
+machine's communication delay).
+
+:func:`execute` replays a schedule this way on the event engine and returns
+the achieved times.  For the non-insertion list schedulers in this
+repository the replay must reproduce the scheduler's claimed start/finish
+times *exactly* — the test suite asserts this, which cross-checks every
+scheduler's internal bookkeeping against an independent executor.
+
+:func:`execute_perturbed` replays the same assignment and sequences with
+randomly rescaled computation/communication weights — modelling compile-time
+estimates being wrong at run time — which powers the robustness extension
+experiment (DESIGN.md X4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ScheduleError
+from repro.schedule.schedule import Schedule
+from repro.sim.desim import Simulator
+
+__all__ = ["ExecutionResult", "execute", "execute_perturbed"]
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of a discrete-event replay."""
+
+    start: Tuple[float, ...]
+    finish: Tuple[float, ...]
+    makespan: float
+    busy_time: Tuple[float, ...]  # per processor
+    events: int
+
+    def matches(self, schedule: Schedule, tol: float = _EPS) -> bool:
+        """True when the replay reproduced the schedule's times exactly."""
+        for t in range(len(self.start)):
+            if abs(self.start[t] - schedule.start_of(t)) > tol:
+                return False
+            if abs(self.finish[t] - schedule.finish_of(t)) > tol:
+                return False
+        return True
+
+    def mismatches(self, schedule: Schedule, tol: float = _EPS) -> List[str]:
+        """Human-readable description of every time disagreement."""
+        out = []
+        for t in range(len(self.start)):
+            if abs(self.start[t] - schedule.start_of(t)) > tol:
+                out.append(
+                    f"task {t}: executed start {self.start[t]} != "
+                    f"scheduled {schedule.start_of(t)}"
+                )
+        return out
+
+
+def _replay(
+    schedule: Schedule,
+    comp: Sequence[float],
+    comm_scale_per_edge: Optional[dict] = None,
+) -> ExecutionResult:
+    graph = schedule.graph
+    machine = schedule.machine
+    if not schedule.complete:
+        raise ScheduleError("cannot execute an incomplete schedule")
+    n = graph.num_tasks
+    sim = Simulator()
+    start = [0.0] * n
+    finish = [0.0] * n
+    done = [False] * n
+    pending_msgs = [0] * n  # messages not yet arrived (cross-proc only counted via events)
+    proc_queue = [list(schedule.proc_tasks(p)) for p in machine.procs]
+    proc_pos = [0] * machine.num_procs
+    proc_free = [True] * machine.num_procs
+    msgs_needed = [0] * n
+    busy = [0.0] * machine.num_procs
+
+    def edge_delay(src: int, dst: int) -> float:
+        base = graph.comm(src, dst)
+        if comm_scale_per_edge is not None:
+            base = base * comm_scale_per_edge[(src, dst)]
+        return machine.comm_delay(schedule.proc_of(src), schedule.proc_of(dst), base)
+
+    for t in graph.tasks():
+        msgs_needed[t] = graph.in_degree(t)
+    remaining_msgs = list(msgs_needed)
+
+    executed = 0
+
+    def try_start(p: int) -> None:
+        nonlocal executed
+        if not proc_free[p] or proc_pos[p] >= len(proc_queue[p]):
+            return
+        task = proc_queue[p][proc_pos[p]]
+        if remaining_msgs[task] > 0:
+            return
+        proc_free[p] = False
+        proc_pos[p] += 1
+        start[task] = sim.now
+        duration = comp[task]
+        busy[p] += duration
+        executed += 1
+
+        def finish_task(task=task, p=p) -> None:
+            finish[task] = sim.now
+            done[task] = True
+            proc_free[p] = True
+            for succ in graph.succs(task):
+                delay = edge_delay(task, succ)
+
+                def deliver(succ=succ) -> None:
+                    remaining_msgs[succ] -= 1
+                    try_start(schedule.proc_of(succ))
+
+                # Message arrivals run before task starts at equal times
+                # (priority 0 == default); starting is triggered inside the
+                # delivery callback, so ordering is already correct.
+                sim.after(delay, deliver)
+            try_start(p)
+
+        sim.after(duration, finish_task)
+
+    for p in machine.procs:
+        sim.at(0.0, lambda p=p: try_start(p))
+    events = sim.run()
+
+    if executed != n:
+        stuck = [t for t in graph.tasks() if not done[t]]
+        raise ScheduleError(
+            f"execution deadlocked: {len(stuck)} tasks never started "
+            f"(first few: {stuck[:5]}); per-processor sequences are "
+            f"inconsistent with the dependencies"
+        )
+    return ExecutionResult(
+        start=tuple(start),
+        finish=tuple(finish),
+        makespan=max(finish),
+        busy_time=tuple(busy),
+        events=events,
+    )
+
+
+def execute(schedule: Schedule) -> ExecutionResult:
+    """Self-timed discrete-event replay of ``schedule`` (exact weights)."""
+    graph, machine = schedule.graph, schedule.machine
+    comp = [
+        machine.duration(graph.comp(t), schedule.proc_of(t)) for t in graph.tasks()
+    ]
+    return _replay(schedule, comp)
+
+
+def execute_perturbed(
+    schedule: Schedule,
+    rng: np.random.Generator,
+    comp_cv: float = 0.2,
+    comm_cv: float = 0.2,
+) -> ExecutionResult:
+    """Replay with weights rescaled by i.i.d. lognormal factors.
+
+    ``comp_cv`` / ``comm_cv`` are the coefficients of variation of the
+    multiplicative noise on computation and communication weights (0 = no
+    noise).  The assignment and per-processor sequences stay fixed — exactly
+    what happens when a compile-time schedule meets inaccurate estimates.
+    """
+    if comp_cv < 0 or comm_cv < 0:
+        raise ValueError("coefficients of variation must be non-negative")
+    graph = schedule.graph
+
+    def lognormal_factors(cv: float, size: int) -> np.ndarray:
+        if cv == 0 or size == 0:
+            return np.ones(size)
+        sigma2 = np.log(1.0 + cv * cv)
+        mu = -sigma2 / 2.0  # mean exactly 1
+        return rng.lognormal(mean=mu, sigma=np.sqrt(sigma2), size=size)
+
+    machine = schedule.machine
+    comp_f = lognormal_factors(comp_cv, graph.num_tasks)
+    comp = [
+        machine.duration(graph.comp(t), schedule.proc_of(t)) * float(comp_f[t])
+        for t in graph.tasks()
+    ]
+    edge_list = list(graph.edges())
+    comm_f = lognormal_factors(comm_cv, len(edge_list))
+    comm_scale = {
+        (src, dst): float(f) for (src, dst, _), f in zip(edge_list, comm_f)
+    }
+    return _replay(schedule, comp, comm_scale)

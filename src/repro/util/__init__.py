@@ -1,0 +1,30 @@
+"""Shared utilities: addressable heaps, seeded RNG helpers, text rendering."""
+
+from repro.util.heap import HeapEmptyError, IndexedHeap
+from repro.util.rng import (
+    WEIGHT_DISTRIBUTIONS,
+    make_rng,
+    sample_weights,
+    scale_to_ccr,
+    spawn_rngs,
+)
+from repro.util.tables import (
+    format_bar_chart,
+    format_float,
+    format_series_chart,
+    format_table,
+)
+
+__all__ = [
+    "IndexedHeap",
+    "HeapEmptyError",
+    "make_rng",
+    "spawn_rngs",
+    "sample_weights",
+    "scale_to_ccr",
+    "WEIGHT_DISTRIBUTIONS",
+    "format_table",
+    "format_series_chart",
+    "format_bar_chart",
+    "format_float",
+]

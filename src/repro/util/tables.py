@@ -1,0 +1,173 @@
+"""Plain-text tables and charts for the experiment harness.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+aligned tables for tabular data (Table 1, per-figure data series) and simple
+ASCII line/bar charts for the figures.  Keeping rendering dependency-free
+means the harness runs in any environment the library runs in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series_chart", "format_bar_chart", "format_float"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float compactly: integers without a fraction, else fixed."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    align: Optional[Sequence[str]] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; cells are converted with ``str`` (floats
+        via :func:`format_float`).
+    title:
+        Optional title line printed above the table.
+    align:
+        Per-column alignment, ``"l"`` or ``"r"``; defaults to left for the
+        first column and right for the rest (the usual shape for results
+        tables).
+    """
+    str_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(format_float(cell))
+            else:
+                cells.append(str(cell))
+        str_rows.append(cells)
+
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, expected {ncols}: {row}")
+
+    if align is None:
+        align = ["l"] + ["r"] * (ncols - 1)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, width, a in zip(cells, widths, align):
+            parts.append(cell.ljust(width) if a == "l" else cell.rjust(width))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def format_series_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render multiple ``y = f(x)`` series as an ASCII chart.
+
+    Each series gets a distinct marker character; a legend maps markers to
+    series names.  Intended for the figure reproductions (e.g. NSL vs P).
+    """
+    markers = "ox+*#@%&"
+    if not series:
+        return title
+    all_y = [y for ys in series.values() for y in ys if y is not None]
+    if not all_y:
+        return title
+    y_min, y_max = min(all_y), max(all_y)
+    if math.isclose(y_min, y_max):
+        y_min -= 0.5
+        y_max += 0.5
+    x_min, x_max = min(x_values), max(x_values)
+    if math.isclose(x_min, x_max):
+        x_min -= 0.5
+        x_max += 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, round((x - x_min) / (x_max - x_min) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(height - 1, max(0, (height - 1) - round(frac * (height - 1))))
+
+    for (name, ys), marker in zip(series.items(), markers):
+        for x, y in zip(x_values, ys):
+            if y is None:
+                continue
+            grid[to_row(y)][to_col(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max(len(format_float(y_max)), len(format_float(y_min)))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = format_float(y_max).rjust(label_w)
+        elif i == height - 1:
+            label = format_float(y_min).rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = (
+        format_float(x_min)
+        + " " * max(1, width - len(format_float(x_min)) - len(format_float(x_max)))
+        + format_float(x_max)
+    )
+    lines.append(" " * (label_w + 2) + x_axis + ("  " + x_label if x_label else ""))
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append("legend: " + legend + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Render a horizontal ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return title
+    vmax = max(values)
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        n = 0 if vmax <= 0 else round(value / vmax * width)
+        lines.append(f"{label.ljust(label_w)} | {'#' * n} {format_float(value)}")
+    return "\n".join(lines)

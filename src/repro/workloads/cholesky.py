@@ -1,0 +1,87 @@
+"""Tiled Cholesky factorisation task graph (extension workload).
+
+The right-looking tiled Cholesky DAG widely used in runtime-system
+benchmarks (POTRF / TRSM / SYRK-GEMM tiles).  Included beyond the paper's
+three problems to exercise schedulers on a graph with cubic task counts,
+long dependency chains *and* wide update fronts.
+
+Tasks for ``tiles = n``:
+
+* ``potrf[k]`` for ``k = 0..n-1``
+* ``trsm[k][i]`` for ``k < i < n``
+* ``upd[k][i][j]`` for ``k < j <= i < n`` (``syrk`` when ``i == j``)
+
+``V = n + n(n-1)/2 + n(n-1)(n+1)/6``  (``O(n^3/6)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.taskgraph import TaskGraph
+from repro.workloads.base import build_weighted_graph
+
+__all__ = ["cholesky", "cholesky_size_for_tasks"]
+
+
+def _num_tasks(n: int) -> int:
+    return n + n * (n - 1) // 2 + sum((n - 1 - k) * (n - k) // 2 for k in range(n))
+
+
+def cholesky_size_for_tasks(target_tasks: int) -> int:
+    """Smallest tile count whose Cholesky graph has >= ``target_tasks``."""
+    n = 1
+    while _num_tasks(n) < target_tasks:
+        n += 1
+    return n
+
+
+def cholesky(
+    tiles: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Build the tiled Cholesky task graph for a ``tiles x tiles`` tile matrix."""
+    if tiles < 1:
+        raise ValueError(f"cholesky requires tiles >= 1, got {tiles}")
+    names: List[str] = []
+    index: Dict[str, int] = {}
+
+    def task(name: str) -> int:
+        index[name] = len(names)
+        names.append(name)
+        return index[name]
+
+    n = tiles
+    for k in range(n):
+        task(f"potrf[{k}]")
+        for i in range(k + 1, n):
+            task(f"trsm[{k}][{i}]")
+        for i in range(k + 1, n):
+            for j in range(k + 1, i + 1):
+                task(f"upd[{k}][{i}][{j}]")
+
+    edges: List[Tuple[int, int]] = []
+    for k in range(n):
+        potrf_k = index[f"potrf[{k}]"]
+        if k > 0:
+            edges.append((index[f"upd[{k-1}][{k}][{k}]"], potrf_k))
+        for i in range(k + 1, n):
+            trsm_ki = index[f"trsm[{k}][{i}]"]
+            edges.append((potrf_k, trsm_ki))
+            if k > 0:
+                edges.append((index[f"upd[{k-1}][{i}][{k}]"], trsm_ki))
+        for i in range(k + 1, n):
+            for j in range(k + 1, i + 1):
+                upd = index[f"upd[{k}][{i}][{j}]"]
+                edges.append((index[f"trsm[{k}][{i}]"], upd))
+                if j != i:
+                    edges.append((index[f"trsm[{k}][{j}]"], upd))
+                if k > 0:
+                    edges.append((index[f"upd[{k-1}][{i}][{j}]"], upd))
+
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)

@@ -1,0 +1,59 @@
+"""Radix-2 FFT butterfly task graph ("FFT" in the paper's Fig. 3 discussion).
+
+The classic FFT task graph: ``points`` input tasks followed by
+``log2(points)`` butterfly stages of ``points`` tasks each.  Task ``i`` of
+stage ``s`` consumes task ``i`` and task ``i XOR 2^(s-1)`` of stage ``s-1``
+(the butterfly exchange).  Perfectly regular with out-degree 2 everywhere —
+the second problem class the paper reports achieving linear speedup.
+
+``V = points * (log2(points) + 1)``; width ``W = points``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.taskgraph import TaskGraph
+from repro.workloads.base import build_weighted_graph
+
+__all__ = ["fft", "fft_size_for_tasks"]
+
+
+def fft_size_for_tasks(target_tasks: int) -> int:
+    """Smallest power-of-two point count whose FFT graph has >= ``target_tasks``."""
+    points = 2
+    while points * (points.bit_length()) < target_tasks:
+        points *= 2
+    return points
+
+
+def fft(
+    points: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Build the radix-2 FFT butterfly graph over ``points`` (a power of two)."""
+    if points < 2 or points & (points - 1):
+        raise ValueError(f"fft requires a power-of-two point count >= 2, got {points}")
+    stages = points.bit_length() - 1  # log2(points)
+
+    def tid(s: int, i: int) -> int:
+        return s * points + i
+
+    names: List[str] = [
+        ("in" if s == 0 else f"bfly[{s}]") + f"({i})"
+        for s in range(stages + 1)
+        for i in range(points)
+    ]
+    edges: List[Tuple[int, int]] = []
+    for s in range(1, stages + 1):
+        span = 1 << (s - 1)
+        for i in range(points):
+            edges.append((tid(s - 1, i), tid(s, i)))
+            edges.append((tid(s - 1, i ^ span), tid(s, i)))
+
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)

@@ -1,0 +1,66 @@
+"""Fixed example graphs, including the paper's Fig. 1 trace example.
+
+:func:`paper_example` returns the 8-task graph the paper uses for the FLB
+execution trace (Section 5, Table 1).  The printed figure is illegible in
+the available scan, so the graph was reconstructed from the trace itself;
+the reconstruction reproduces every EMT / LMT / bottom-level value and every
+scheduling decision in the published Table 1 (see DESIGN.md, Section 3).
+"""
+
+from __future__ import annotations
+
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["paper_example", "simple_diamond", "two_chains"]
+
+#: Fig. 1 computation costs, ``t0 .. t7``.
+PAPER_EXAMPLE_COMP = (2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 2.0, 2.0)
+
+#: Fig. 1 edges: ``(src, dst, comm)``.
+PAPER_EXAMPLE_EDGES = (
+    (0, 1, 1.0),
+    (0, 2, 4.0),
+    (0, 3, 1.0),
+    (1, 4, 2.0),
+    (1, 5, 1.0),
+    (3, 5, 1.0),
+    (2, 6, 1.0),
+    (4, 7, 1.0),
+    (5, 7, 3.0),
+    (6, 7, 2.0),
+)
+
+
+def paper_example() -> TaskGraph:
+    """The Fig. 1 task graph used by the paper's Table 1 execution trace."""
+    g = TaskGraph()
+    for i, comp in enumerate(PAPER_EXAMPLE_COMP):
+        g.add_task(comp, name=f"t{i}")
+    for src, dst, comm in PAPER_EXAMPLE_EDGES:
+        g.add_edge(src, dst, comm)
+    return g.freeze()
+
+
+def simple_diamond() -> TaskGraph:
+    """A 4-task diamond: quick fixture for docs and unit tests."""
+    g = TaskGraph()
+    a = g.add_task(1.0, name="a")
+    b = g.add_task(2.0, name="b")
+    c = g.add_task(3.0, name="c")
+    d = g.add_task(1.0, name="d")
+    g.add_edge(a, b, 1.0)
+    g.add_edge(a, c, 1.0)
+    g.add_edge(b, d, 2.0)
+    g.add_edge(c, d, 1.0)
+    return g.freeze()
+
+
+def two_chains() -> TaskGraph:
+    """Two independent 3-task chains: exercises multi-entry / multi-exit paths."""
+    g = TaskGraph()
+    ids = [g.add_task(1.0, name=f"c{i}") for i in range(6)]
+    g.add_edge(ids[0], ids[1], 1.0)
+    g.add_edge(ids[1], ids[2], 1.0)
+    g.add_edge(ids[3], ids[4], 1.0)
+    g.add_edge(ids[4], ids[5], 1.0)
+    return g.freeze()

@@ -1,0 +1,68 @@
+"""Laplace equation solver task graph ("Laplace" in the paper's evaluation).
+
+An iterative Jacobi-style solver on an ``m x m`` grid: each sweep updates
+every grid point from its 4-neighbourhood (and its own previous value), so
+iteration ``l``'s point ``(i, j)`` depends on iteration ``l-1``'s points
+``(i, j)``, ``(i±1, j)`` and ``(i, j±1)``.  The result is a layered graph of
+``iters`` layers with ``m*m`` tasks each — wide and regular, but every
+interior task joins five predecessors, giving the join-heavy behaviour the
+paper observes for Laplace.
+
+``V = m*m*iters``; width ``W = m*m``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.taskgraph import TaskGraph
+from repro.workloads.base import build_weighted_graph
+
+__all__ = ["laplace", "laplace_size_for_tasks"]
+
+
+def laplace_size_for_tasks(target_tasks: int, grid: int = 10) -> Tuple[int, int]:
+    """``(grid, iters)`` with ``grid**2 * iters >= target_tasks``."""
+    iters = max(1, -(-target_tasks // (grid * grid)))
+    return grid, iters
+
+
+def laplace(
+    grid: int,
+    iters: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Build the Jacobi/Laplace task graph for a ``grid x grid`` mesh."""
+    if grid < 1 or iters < 1:
+        raise ValueError(f"laplace requires grid >= 1 and iters >= 1, got {grid}, {iters}")
+
+    def tid(l: int, i: int, j: int) -> int:
+        return l * grid * grid + i * grid + j
+
+    names: List[str] = [
+        f"jacobi[{l}]({i},{j})"
+        for l in range(iters)
+        for i in range(grid)
+        for j in range(grid)
+    ]
+    edges: List[Tuple[int, int]] = []
+    for l in range(1, iters):
+        for i in range(grid):
+            for j in range(grid):
+                dst = tid(l, i, j)
+                edges.append((tid(l - 1, i, j), dst))
+                if i > 0:
+                    edges.append((tid(l - 1, i - 1, j), dst))
+                if i + 1 < grid:
+                    edges.append((tid(l - 1, i + 1, j), dst))
+                if j > 0:
+                    edges.append((tid(l - 1, i, j - 1), dst))
+                if j + 1 < grid:
+                    edges.append((tid(l - 1, i, j + 1), dst))
+
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)

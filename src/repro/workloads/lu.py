@@ -1,0 +1,102 @@
+"""LU decomposition task graphs ("LU" in the paper's evaluation).
+
+Two classic variants of the dense-elimination DAG exist in the scheduling
+literature; this module provides both.
+
+:func:`lu` — the **join-style** variant used for the paper's evaluation
+suite.  At step ``k`` a *pivot* task forks one *update* task per remaining
+column, and the next pivot **joins all** of the updates (full partial
+pivoting needs every updated column before the next pivot can be chosen).
+The paper describes its LU as involving "many successive forks and joins"
+and "a large number of join operations", which singles out this variant;
+empirically it also reproduces the paper's FLB ~ ETF ~ MCP parity on LU,
+whereas the chain variant does not (see EXPERIMENTS.md).
+
+:func:`lu_chain` — the **chain-style** variant (PYRROS / DSC lineage):
+``upd[k][j]`` feeds ``upd[k+1][j]`` along each column and only
+``upd[k][k+1]`` feeds the next pivot.  Its single critical successor per
+step makes it a deliberately adversarial case for schedulers whose
+tie-breaking ignores bottom levels at equal start times; it is kept both as
+an extra workload family and as the documented worst case for FLB's dynamic
+tie-breaking.
+
+Both have ``V = (n-1) + n(n-1)/2`` tasks and width ``W = n - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.taskgraph import TaskGraph
+from repro.workloads.base import build_weighted_graph
+
+__all__ = ["lu", "lu_chain", "lu_size_for_tasks"]
+
+
+def lu_size_for_tasks(target_tasks: int) -> int:
+    """Smallest matrix dimension ``n`` whose LU graph has >= ``target_tasks``."""
+    n = 2
+    while (n - 1) + n * (n - 1) // 2 < target_tasks:
+        n += 1
+    return n
+
+
+def _lu_tasks(n: int) -> Tuple[List[str], Dict[str, int]]:
+    names: List[str] = []
+    index: Dict[str, int] = {}
+    for k in range(n - 1):
+        index[f"pivot[{k}]"] = len(names)
+        names.append(f"pivot[{k}]")
+        for j in range(k + 1, n):
+            index[f"upd[{k}][{j}]"] = len(names)
+            names.append(f"upd[{k}][{j}]")
+    return names, index
+
+
+def lu(
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Join-style LU elimination graph (the paper's evaluation variant)."""
+    if n < 2:
+        raise ValueError(f"LU requires n >= 2, got {n}")
+    names, index = _lu_tasks(n)
+    edges: List[Tuple[int, int]] = []
+    for k in range(n - 1):
+        pk = index[f"pivot[{k}]"]
+        for j in range(k + 1, n):
+            edges.append((pk, index[f"upd[{k}][{j}]"]))
+        if k + 1 < n - 1:
+            nxt = index[f"pivot[{k+1}]"]
+            for j in range(k + 1, n):
+                edges.append((index[f"upd[{k}][{j}]"], nxt))
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)
+
+
+def lu_chain(
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Chain-style LU elimination graph (PYRROS / DSC lineage)."""
+    if n < 2:
+        raise ValueError(f"LU requires n >= 2, got {n}")
+    names, index = _lu_tasks(n)
+    edges: List[Tuple[int, int]] = []
+    for k in range(n - 1):
+        pk = index[f"pivot[{k}]"]
+        for j in range(k + 1, n):
+            edges.append((pk, index[f"upd[{k}][{j}]"]))
+        if k + 1 < n - 1:
+            edges.append((index[f"upd[{k}][{k+1}]"], index[f"pivot[{k+1}]"]))
+        for j in range(k + 2, n):
+            if k + 1 < n - 1:
+                edges.append((index[f"upd[{k}][{j}]"], index[f"upd[{k+1}][{j}]"]))
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)

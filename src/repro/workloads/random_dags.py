@@ -1,0 +1,254 @@
+"""Randomised task-graph families for tests and scaling studies.
+
+These families are not in the paper's evaluation suite but are essential for
+property-based testing (schedule validity on arbitrary DAG shapes) and for
+the complexity-scaling benchmark:
+
+* :func:`layered_random` — layered graphs with tunable width and density,
+  the workhorse for scaling studies because ``V``, ``E`` and ``W`` are all
+  directly controllable;
+* :func:`erdos_dag` — G(n, p) over a random topological order, producing
+  irregular shapes;
+* :func:`fork_join` — repeated fork/join diamonds;
+* :func:`out_tree` / :func:`in_tree` — complete trees (pure forks / joins);
+* :func:`chain` — a sequential pipeline (width 1);
+* :func:`independent_tasks` — no edges at all (width = V), the pure load
+  balancing case;
+* :func:`series_parallel` — recursive series/parallel compositions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.taskgraph import TaskGraph
+from repro.util.rng import make_rng
+from repro.workloads.base import build_weighted_graph
+
+__all__ = [
+    "layered_random",
+    "erdos_dag",
+    "fork_join",
+    "out_tree",
+    "in_tree",
+    "chain",
+    "independent_tasks",
+    "series_parallel",
+]
+
+
+def layered_random(
+    layers: int,
+    layer_width: int,
+    rng: Optional[np.random.Generator] = None,
+    edge_density: float = 0.3,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Layered random DAG: edges only between consecutive layers.
+
+    Each of the ``layer_width**2`` possible edges between adjacent layers is
+    present independently with probability ``edge_density``; every non-first
+    layer task is guaranteed at least one predecessor so depth equals layer
+    index.
+    """
+    if layers < 1 or layer_width < 1:
+        raise ValueError("layers and layer_width must be >= 1")
+    if not 0.0 <= edge_density <= 1.0:
+        raise ValueError(f"edge_density must be in [0, 1], got {edge_density}")
+    rng_local = rng if rng is not None else make_rng(0)
+
+    def tid(l: int, i: int) -> int:
+        return l * layer_width + i
+
+    names = [f"n[{l}]({i})" for l in range(layers) for i in range(layer_width)]
+    edges: List[Tuple[int, int]] = []
+    for l in range(1, layers):
+        mask = rng_local.random((layer_width, layer_width)) < edge_density
+        for i in range(layer_width):
+            preds = np.flatnonzero(mask[:, i])
+            if preds.size == 0:
+                preds = rng_local.integers(0, layer_width, size=1)
+            for p in preds:
+                edges.append((tid(l - 1, int(p)), tid(l, i)))
+
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)
+
+
+def erdos_dag(
+    n: int,
+    p: float,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """G(n, p) DAG: each pair ``i < j`` is an edge with probability ``p``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng_local = rng if rng is not None else make_rng(0)
+    names = [f"n{i}" for i in range(n)]
+    edges: List[Tuple[int, int]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng_local.random() < p:
+                edges.append((i, j))
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)
+
+
+def fork_join(
+    stages: int,
+    width: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """``stages`` fork/join diamonds of the given ``width`` in sequence."""
+    if stages < 1 or width < 1:
+        raise ValueError("stages and width must be >= 1")
+    names: List[str] = []
+    edges: List[Tuple[int, int]] = []
+    prev_join: Optional[int] = None
+    for s in range(stages):
+        fork = len(names)
+        names.append(f"fork[{s}]")
+        if prev_join is not None:
+            edges.append((prev_join, fork))
+        mids = []
+        for i in range(width):
+            mid = len(names)
+            names.append(f"work[{s}]({i})")
+            edges.append((fork, mid))
+            mids.append(mid)
+        join = len(names)
+        names.append(f"join[{s}]")
+        for mid in mids:
+            edges.append((mid, join))
+        prev_join = join
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)
+
+
+def out_tree(
+    depth: int,
+    branching: int = 2,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Complete out-tree (root forks down); ``depth`` levels below the root."""
+    if depth < 0 or branching < 1:
+        raise ValueError("depth must be >= 0 and branching >= 1")
+    names = ["root"]
+    edges: List[Tuple[int, int]] = []
+    frontier = [0]
+    for d in range(1, depth + 1):
+        new_frontier = []
+        for parent in frontier:
+            for b in range(branching):
+                child = len(names)
+                names.append(f"n[{d}]({len(new_frontier)})")
+                edges.append((parent, child))
+                new_frontier.append(child)
+        frontier = new_frontier
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)
+
+
+def in_tree(
+    depth: int,
+    branching: int = 2,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Complete in-tree (leaves join up to a single sink): reversed out-tree."""
+    tree = out_tree(depth, branching)  # topology only; weights resampled below
+    names = [f"n{i}" for i in range(tree.num_tasks)]
+    edges = [(dst, src) for src, dst, _ in tree.edges()]
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)
+
+
+def chain(
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """A linear pipeline of ``n`` tasks (width 1)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    names = [f"n{i}" for i in range(n)]
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)
+
+
+def independent_tasks(
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """``n`` tasks with no dependencies (width = V): pure load balancing."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    names = [f"n{i}" for i in range(n)]
+    return build_weighted_graph(names, [], rng, 0.0, mean_comp, distribution)
+
+
+def series_parallel(
+    n_leaves: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Random series-parallel DAG with roughly ``n_leaves`` work tasks.
+
+    Built by recursive composition: a block is either a single task, a
+    series of two sub-blocks, or a parallel split/merge of two sub-blocks
+    (with explicit split and merge tasks so the graph stays single-entry /
+    single-exit).
+    """
+    if n_leaves < 1:
+        raise ValueError(f"n_leaves must be >= 1, got {n_leaves}")
+    rng_local = rng if rng is not None else make_rng(0)
+    names: List[str] = []
+    edges: List[Tuple[int, int]] = []
+
+    def new_task(label: str) -> int:
+        names.append(f"{label}{len(names)}")
+        return len(names) - 1
+
+    def build(leaves: int) -> Tuple[int, int]:
+        """Return (entry, exit) task ids of a block with ``leaves`` work tasks."""
+        if leaves == 1:
+            t = new_task("w")
+            return t, t
+        left = int(rng_local.integers(1, leaves))
+        right = leaves - left
+        if rng_local.random() < 0.5:
+            e1, x1 = build(left)
+            e2, x2 = build(right)
+            edges.append((x1, e2))
+            return e1, x2
+        split = new_task("s")
+        merge_children = []
+        for part in (left, right):
+            e, x = build(part)
+            edges.append((split, e))
+            merge_children.append(x)
+        merge = new_task("m")
+        for x in merge_children:
+            edges.append((x, merge))
+        return split, merge
+
+    build(n_leaves)
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)

@@ -1,0 +1,56 @@
+"""1-D stencil pipeline task graph ("Stencil" in the paper's evaluation).
+
+A time-stepped 1-D stencil of radius 1: ``steps`` layers of ``m`` cells,
+where cell ``i`` at step ``l`` depends on cells ``i-1, i, i+1`` at step
+``l-1``.  Compared with Laplace, the neighbourhood is smaller (3-point vs
+5-point joins) and the layer width is typically chosen smaller, making the
+graph more regular and communication more local — the class of problems the
+paper reports achieving linear speedup.
+
+``V = m * steps``; width ``W = m``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.taskgraph import TaskGraph
+from repro.workloads.base import build_weighted_graph
+
+__all__ = ["stencil", "stencil_size_for_tasks"]
+
+
+def stencil_size_for_tasks(target_tasks: int, cells: int = 40) -> Tuple[int, int]:
+    """``(cells, steps)`` with ``cells * steps >= target_tasks``."""
+    steps = max(1, -(-target_tasks // cells))
+    return cells, steps
+
+
+def stencil(
+    cells: int,
+    steps: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Build the radius-1 1-D stencil graph with ``cells`` cells, ``steps`` steps."""
+    if cells < 1 or steps < 1:
+        raise ValueError(f"stencil requires cells >= 1 and steps >= 1, got {cells}, {steps}")
+
+    def tid(l: int, i: int) -> int:
+        return l * cells + i
+
+    names: List[str] = [f"cell[{l}]({i})" for l in range(steps) for i in range(cells)]
+    edges: List[Tuple[int, int]] = []
+    for l in range(1, steps):
+        for i in range(cells):
+            dst = tid(l, i)
+            for di in (-1, 0, 1):
+                j = i + di
+                if 0 <= j < cells:
+                    edges.append((tid(l - 1, j), dst))
+
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)

@@ -1,0 +1,57 @@
+"""2-D wavefront (Gauss–Seidel / dynamic-programming diamond) task graph.
+
+The classic diamond dependence pattern: cell ``(i, j)`` of an ``n x n``
+grid depends on its north and west neighbours, ``(i-1, j)`` and
+``(i, j-1)``.  Parallelism sweeps as an anti-diagonal wavefront whose width
+grows from 1 to ``n`` and shrinks back to 1 — unlike the constant-width
+layered families, the available parallelism *changes over time*, which
+stresses schedulers' load-balancing differently from LU or stencil.
+
+Used by Gauss–Seidel solvers, sequence alignment (Smith–Waterman), and
+dynamic-programming kernels.  ``V = n^2``; width ``W = n``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.taskgraph import TaskGraph
+from repro.workloads.base import build_weighted_graph
+
+__all__ = ["wavefront", "wavefront_size_for_tasks"]
+
+
+def wavefront_size_for_tasks(target_tasks: int) -> int:
+    """Smallest grid dimension ``n`` with ``n^2 >= target_tasks``."""
+    n = 1
+    while n * n < target_tasks:
+        n += 1
+    return n
+
+
+def wavefront(
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    ccr: float = 1.0,
+    mean_comp: float = 1.0,
+    distribution: str = "uniform",
+) -> TaskGraph:
+    """Build the ``n x n`` diamond wavefront graph."""
+    if n < 1:
+        raise ValueError(f"wavefront requires n >= 1, got {n}")
+
+    def tid(i: int, j: int) -> int:
+        return i * n + j
+
+    names: List[str] = [f"cell({i},{j})" for i in range(n) for j in range(n)]
+    edges: List[Tuple[int, int]] = []
+    for i in range(n):
+        for j in range(n):
+            if i > 0:
+                edges.append((tid(i - 1, j), tid(i, j)))
+            if j > 0:
+                edges.append((tid(i, j - 1), tid(i, j)))
+
+    return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)

@@ -1,0 +1,153 @@
+"""Tests for the experiment harness (suite, runner, experiment reproductions)
+at miniature scale — the full-scale runs live in benchmarks/ and
+EXPERIMENTS.md."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_CCRS,
+    PAPER_PROBLEMS,
+    PAPER_PROCS,
+    group_mean,
+    paper_suite,
+    run_ablation_llb,
+    run_ablation_ties,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_robustness,
+    run_scaling,
+    run_sweep,
+    run_table1,
+)
+from repro.graph import ccr as graph_ccr
+
+
+class TestSuite:
+    def test_paper_defaults(self):
+        assert PAPER_PROBLEMS == ("lu", "laplace", "stencil", "fft")
+        assert PAPER_CCRS == (0.2, 5.0)
+        assert PAPER_PROCS == (2, 4, 8, 16, 32)
+
+    def test_suite_composition(self):
+        suite = paper_suite(150, seeds=2)
+        assert len(suite) == 4 * 2 * 2
+        labels = {i.label for i in suite}
+        assert len(labels) == len(suite)
+
+    def test_sizes_and_ccr(self):
+        for inst in paper_suite(150, seeds=1):
+            assert inst.graph.num_tasks >= 150
+            assert graph_ccr(inst.graph) == pytest.approx(inst.ccr, rel=1e-9)
+
+    def test_seeds_differ(self):
+        a, b = paper_suite(120, seeds=2, problems=("fft",), ccrs=(1.0,))
+        assert a.graph.comps != b.graph.comps
+
+    def test_suite_deterministic(self):
+        s1 = paper_suite(120, seeds=1, problems=("lu",))
+        s2 = paper_suite(120, seeds=1, problems=("lu",))
+        assert s1[0].graph.comps == s2[0].graph.comps
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            paper_suite(100, seeds=0)
+        with pytest.raises(ValueError):
+            paper_suite(100, problems=("bogus",))
+
+
+class TestRunner:
+    def test_sweep_records(self):
+        suite = paper_suite(100, seeds=1, problems=("fft",))
+        records = run_sweep(suite, ["flb", "mcp"], (2, 4), validate=True)
+        assert len(records) == len(suite) * 2 * 2
+        for rec in records:
+            assert rec.makespan > 0
+            assert rec.seconds is None
+
+    def test_sweep_with_timing(self):
+        suite = paper_suite(100, seeds=1, problems=("fft",), ccrs=(1.0,))
+        records = run_sweep(suite, ["flb"], (2,), measure_time=True, time_repeats=1)
+        assert all(r.seconds is not None and r.seconds > 0 for r in records)
+
+    def test_sweep_rejects_unknown(self):
+        suite = paper_suite(100, seeds=1, problems=("fft",), ccrs=(1.0,))
+        with pytest.raises(ValueError):
+            run_sweep(suite, ["bogus"], (2,))
+
+    def test_group_mean(self):
+        suite = paper_suite(100, seeds=2, problems=("fft",), ccrs=(1.0,))
+        records = run_sweep(suite, ["flb"], (2,))
+        means = group_mean(records, key=lambda r: (r.algorithm,), value=lambda r: r.speedup)
+        assert set(means) == {("flb",)}
+        assert means[("flb",)] > 1.0
+
+
+class TestExperimentReports:
+    def test_table1(self):
+        report = run_table1()
+        assert report.experiment == "table1"
+        assert report.data["makespan"] == 14.0
+        assert len(report.data["placements"]) == 8
+
+    def test_fig2_small(self):
+        report = run_fig2(120, seeds=1, procs=(2, 4), algorithms=("flb", "mcp"), time_repeats=1)
+        assert "Fig. 2" in report.text
+        assert set(report.data["mean_ms"]) == {"flb", "mcp"}
+        assert all(v > 0 for vs in report.data["mean_ms"].values() for v in vs)
+
+    def test_fig3_small(self):
+        report = run_fig3(120, seeds=1, procs=(1, 4), problems=("fft", "stencil"))
+        series = report.data["speedup"]
+        for ccr in PAPER_CCRS:
+            for problem in ("fft", "stencil"):
+                sp = series[ccr][problem]
+                assert sp[0] == pytest.approx(1.0, rel=1e-6)
+                assert sp[1] > 1.0
+
+    def test_fig4_small(self):
+        report = run_fig4(120, seeds=1, procs=(2, 4), problems=("stencil",))
+        nsl = report.data["nsl"][("stencil", 0.2)]
+        assert nsl["mcp"] == [pytest.approx(1.0)] * 2
+        for algo, series in nsl.items():
+            for value in series:
+                assert 0.3 < value < 3.0
+
+    def test_fig4_adds_mcp_if_missing(self):
+        report = run_fig4(
+            120, seeds=1, procs=(2,), problems=("fft",), algorithms=("flb",)
+        )
+        assert "mcp" in report.data["nsl"][("fft", 0.2)]
+
+    def test_scaling_small(self):
+        report = run_scaling(sizes=(100, 200), procs=4, time_repeats=1)
+        assert report.data["sizes"] == [100, 200]
+        assert all(v > 0 for v in report.data["ms"]["flb"])
+
+    def test_ablation_ties_small(self):
+        report = run_ablation_ties(100, seeds=1, procs=(2,))
+        assert 0.5 < report.data["mean"] < 1.5
+        assert "FLB/ETF" in report.text
+
+    def test_ablation_llb_small(self):
+        report = run_ablation_llb(100, seeds=1, procs=(2,))
+        assert report.data["mean"] > 0.5
+
+    def test_robustness_small(self):
+        report = run_robustness(100, seeds=1, procs=4, cvs=(0.2,), draws=3, problems=("fft",))
+        values = report.data["relative"][0.2]
+        assert all(v > 0.5 for v in values)
+
+
+class TestExtendedSweep:
+    def test_small_run(self):
+        from repro.bench import run_extended_sweep
+
+        report = run_extended_sweep(target_tasks=80, seeds=1, procs=(2,), ccrs=(0.5, 2.0))
+        nsl = report.data["nsl"]
+        assert set(nsl) >= {"mcp", "flb"}
+        assert nsl["mcp"] == [pytest.approx(1.0)] * 2
+        for series in nsl.values():
+            for value in series:
+                assert 0.3 < value < 3.0
+        assert "X8" in report.text

@@ -1,0 +1,167 @@
+"""Tests for the repro-sched command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestGenerate:
+    def test_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        code, text = run_cli(
+            capsys, "generate", "--problem", "fft", "--tasks", "100", "-o", str(out)
+        )
+        assert code == 0
+        assert "wrote fft" in text
+        doc = json.loads(out.read_text())
+        assert doc["format"] == "repro-taskgraph"
+        assert len(doc["tasks"]) >= 100
+
+    @pytest.mark.parametrize(
+        "problem", ["lu", "lu-chain", "laplace", "stencil", "fft", "cholesky"]
+    )
+    def test_all_problems(self, tmp_path, capsys, problem):
+        out = tmp_path / "g.json"
+        code, _ = run_cli(
+            capsys, "generate", "--problem", problem, "--tasks", "60", "-o", str(out)
+        )
+        assert code == 0
+        assert out.exists()
+
+
+class TestSchedule:
+    def test_generated_workload(self, capsys):
+        code, text = run_cli(
+            capsys,
+            "schedule", "--problem", "stencil", "--tasks", "80",
+            "--procs", "3", "--algo", "flb",
+        )
+        assert code == 0
+        assert "makespan" in text
+        assert "speedup" in text
+
+    def test_from_file_with_gantt_and_table(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        run_cli(capsys, "generate", "--problem", "lu", "--tasks", "40", "-o", str(out))
+        code, text = run_cli(
+            capsys,
+            "schedule", "--graph", str(out), "--procs", "2",
+            "--algo", "mcp", "--gantt", "--table",
+        )
+        assert code == 0
+        assert "P0" in text  # gantt rows
+        assert "proc" in text  # placement table header
+
+    def test_every_algorithm(self, capsys):
+        from repro.schedulers import SCHEDULERS
+
+        for algo in sorted(SCHEDULERS):
+            code, text = run_cli(
+                capsys,
+                "schedule", "--problem", "fft", "--tasks", "40",
+                "--procs", "2", "--algo", algo,
+            )
+            assert code == 0, algo
+            assert "makespan" in text
+
+
+class TestCompare:
+    def test_table_lists_all_algorithms(self, capsys):
+        code, text = run_cli(
+            capsys, "compare", "--problem", "fft", "--tasks", "60", "--procs", "2"
+        )
+        assert code == 0
+        for algo in ("flb", "etf", "mcp", "dsc-llb"):
+            assert algo in text
+        assert "NSL" in text
+
+
+class TestTrace:
+    def test_default_is_paper_example(self, capsys):
+        code, text = run_cli(capsys, "trace")
+        assert code == 0
+        assert "t3[2;12/3]" in text
+        assert "makespan = 14" in text
+
+    def test_custom_graph(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        run_cli(capsys, "generate", "--problem", "fft", "--tasks", "30", "-o", str(out))
+        code, text = run_cli(capsys, "trace", "--graph", str(out), "--procs", "3")
+        assert code == 0
+        assert "scheduling" in text
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        code, text = run_cli(capsys, "experiment", "table1")
+        assert code == 0
+        assert "t7 -> p0, [12 - 14]" in text
+
+    def test_fig3_small(self, capsys, tmp_path):
+        out = tmp_path / "report.txt"
+        code, text = run_cli(
+            capsys,
+            "experiment", "fig3", "--tasks", "60", "--seeds", "1", "-o", str(out),
+        )
+        assert code == 0
+        assert "FLB speedup" in text
+        assert out.exists()
+        assert "FLB speedup" in out.read_text()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_algo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--algo", "bogus"])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "bogus"])
+
+
+class TestAnalyze:
+    def test_properties_printed(self, capsys):
+        code, text = run_cli(
+            capsys, "analyze", "--problem", "cholesky", "--tasks", "80"
+        )
+        assert code == 0
+        for field in ("tasks:", "width:", "critical path:", "ccr:"):
+            assert field in text
+
+    def test_from_file(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        run_cli(capsys, "generate", "--problem", "fft", "--tasks", "40", "-o", str(out))
+        code, text = run_cli(capsys, "analyze", "--graph", str(out))
+        assert code == 0
+        assert "width:" in text
+
+
+class TestExecute:
+    def test_contention_free_matches(self, capsys):
+        code, text = run_cli(
+            capsys, "execute", "--problem", "stencil", "--tasks", "60", "--procs", "3"
+        )
+        assert code == 0
+        assert "matches" in text
+
+    def test_noise_and_contention_flags(self, capsys):
+        code, text = run_cli(
+            capsys,
+            "execute", "--problem", "fft", "--tasks", "60", "--procs", "4",
+            "--noise-cv", "0.3", "--bandwidth", "1.0", "--draws", "3",
+        )
+        assert code == 0
+        assert "contended" in text
+        assert "perturbed" in text

@@ -1,0 +1,219 @@
+"""Unit and property tests for repro.util.heap.IndexedHeap."""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.heap import HeapEmptyError, IndexedHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        h = IndexedHeap()
+        assert len(h) == 0
+        assert not h
+        assert h.peek_item() is None
+        with pytest.raises(HeapEmptyError):
+            h.peek()
+        with pytest.raises(HeapEmptyError):
+            h.pop()
+
+    def test_push_pop_single(self):
+        h = IndexedHeap()
+        h.push("a", 5)
+        assert len(h) == 1
+        assert h.peek() == ("a", 5)
+        assert h.peek_item() == "a"
+        assert h.pop() == ("a", 5)
+        assert not h
+
+    def test_pop_order(self):
+        h = IndexedHeap()
+        for item, key in [("a", 3), ("b", 1), ("c", 2), ("d", 0)]:
+            h.push(item, key)
+        assert [h.pop() for _ in range(4)] == [
+            ("d", 0),
+            ("b", 1),
+            ("c", 2),
+            ("a", 3),
+        ]
+
+    def test_duplicate_push_rejected(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        with pytest.raises(ValueError):
+            h.push("a", 2)
+
+    def test_contains_and_key_of(self):
+        h = IndexedHeap()
+        h.push(7, 1.5)
+        assert 7 in h
+        assert 8 not in h
+        assert h.key_of(7) == 1.5
+        with pytest.raises(KeyError):
+            h.key_of(8)
+
+    def test_tuple_keys(self):
+        h = IndexedHeap()
+        h.push("x", (1, -5, 0))
+        h.push("y", (1, -7, 1))
+        # Larger second component (bottom level) wins via negation.
+        assert h.pop()[0] == "y"
+
+    def test_remove_middle(self):
+        h = IndexedHeap()
+        for i in range(10):
+            h.push(i, i)
+        assert h.remove(5) == 5
+        assert 5 not in h
+        assert [h.pop()[0] for _ in range(9)] == [0, 1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_remove_missing_raises(self):
+        h = IndexedHeap()
+        with pytest.raises(KeyError):
+            h.remove("nope")
+
+    def test_discard(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        assert h.discard("a") is True
+        assert h.discard("a") is False
+
+    def test_update_decrease_and_increase(self):
+        h = IndexedHeap()
+        for i in range(5):
+            h.push(i, i * 10)
+        h.update(4, -1)
+        assert h.peek() == (4, -1)
+        h.update(4, 100)
+        assert h.peek() == (0, 0)
+        assert h.key_of(4) == 100
+
+    def test_push_or_update(self):
+        h = IndexedHeap()
+        h.push_or_update("a", 3)
+        h.push_or_update("a", 1)
+        assert h.peek() == ("a", 1)
+        assert len(h) == 1
+
+    def test_clear(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        h.clear()
+        assert not h
+        h.push("a", 2)  # reusable after clear
+        assert h.peek() == ("a", 2)
+
+    def test_sorted_items(self):
+        h = IndexedHeap()
+        for item, key in [("a", 3), ("b", 1), ("c", 2)]:
+            h.push(item, key)
+        assert h.sorted_items() == [("b", 1), ("c", 2), ("a", 3)]
+
+    def test_iter_returns_all_items(self):
+        h = IndexedHeap()
+        for i in range(6):
+            h.push(i, -i)
+        assert sorted(h) == list(range(6))
+
+    def test_remove_last_element_keeps_invariants(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        h.push("b", 2)
+        h.remove("b")
+        h.check_invariants()
+        assert h.pop() == ("a", 1)
+
+
+class TestRandomized:
+    def test_matches_heapq_on_push_pop(self):
+        rng = random.Random(42)
+        h = IndexedHeap()
+        reference = []
+        for i in range(500):
+            key = rng.random()
+            h.push(i, key)
+            heapq.heappush(reference, (key, i))
+        while reference:
+            key, item = heapq.heappop(reference)
+            got_item, got_key = h.pop()
+            assert got_key == key
+            assert got_item == item
+
+    def test_random_operation_stream(self):
+        rng = random.Random(7)
+        h = IndexedHeap()
+        model = {}  # item -> key
+        next_id = 0
+        for step in range(3000):
+            op = rng.random()
+            if op < 0.4 or not model:
+                key = rng.randint(0, 1000)
+                h.push(next_id, key)
+                model[next_id] = key
+                next_id += 1
+            elif op < 0.6:
+                item, key = h.pop()
+                assert model.pop(item) == key
+                assert key == min(model.values(), default=key + 1) or not model or key <= min(
+                    model.values()
+                )
+            elif op < 0.8:
+                item = rng.choice(list(model))
+                key = rng.randint(0, 1000)
+                h.update(item, key)
+                model[item] = key
+            else:
+                item = rng.choice(list(model))
+                assert h.remove(item) == model.pop(item)
+            if step % 100 == 0:
+                h.check_invariants()
+        assert len(h) == len(model)
+        drained = {}
+        while h:
+            item, key = h.pop()
+            drained[item] = key
+        assert drained == model
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["push", "pop", "remove", "update"]), st.integers(0, 50)),
+        max_size=120,
+    )
+)
+def test_property_model_equivalence(ops):
+    """The heap behaves like a dict + min() model under any operation stream."""
+    h = IndexedHeap()
+    model = {}
+    counter = 0
+    for op, key in ops:
+        if op == "push":
+            h.push(counter, key)
+            model[counter] = key
+            counter += 1
+        elif op == "pop":
+            if model:
+                item, k = h.pop()
+                assert k == min(model.values())
+                assert model.pop(item) == k
+            else:
+                with pytest.raises(HeapEmptyError):
+                    h.pop()
+        elif op == "remove":
+            if model:
+                victim = sorted(model)[key % len(model)]
+                assert h.remove(victim) == model.pop(victim)
+        elif op == "update":
+            if model:
+                victim = sorted(model)[key % len(model)]
+                h.update(victim, key)
+                model[victim] = key
+        h.check_invariants()
+        if model:
+            assert h.peek()[1] == min(model.values())
+    assert len(h) == len(model)

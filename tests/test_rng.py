@@ -1,0 +1,95 @@
+"""Tests for seeded RNG helpers and weight samplers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    WEIGHT_DISTRIBUTIONS,
+    make_rng,
+    sample_weights,
+    scale_to_ccr,
+    spawn_rngs,
+)
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        a = make_rng(123).random(5)
+        b = make_rng(123).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(5)
+        b = make_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_rngs_independent_and_stable(self):
+        streams1 = [r.random(4) for r in spawn_rngs(9, 3)]
+        streams2 = [r.random(4) for r in spawn_rngs(9, 3)]
+        for s1, s2 in zip(streams1, streams2):
+            assert np.array_equal(s1, s2)
+        assert not np.array_equal(streams1[0], streams1[1])
+
+
+class TestSampleWeights:
+    @pytest.mark.parametrize("dist", sorted(WEIGHT_DISTRIBUTIONS))
+    def test_positive_and_mean(self, dist):
+        rng = make_rng(0)
+        w = sample_weights(rng, mean=3.0, n=20000, distribution=dist)
+        assert w.shape == (20000,)
+        assert (w > 0).all()
+        assert w.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_constant_exact(self):
+        w = sample_weights(make_rng(0), 2.5, 7, "constant")
+        assert np.array_equal(w, np.full(7, 2.5))
+
+    def test_exponential_unit_cv(self):
+        w = sample_weights(make_rng(1), 1.0, 200000, "exponential")
+        cv = w.std() / w.mean()
+        assert cv == pytest.approx(1.0, abs=0.02)
+
+    def test_uniform_cv_is_one_over_sqrt3(self):
+        w = sample_weights(make_rng(1), 1.0, 200000, "uniform")
+        cv = w.std() / w.mean()
+        assert cv == pytest.approx(1 / np.sqrt(3), abs=0.02)
+
+    def test_bad_args(self):
+        rng = make_rng(0)
+        with pytest.raises(ValueError):
+            sample_weights(rng, -1.0, 5)
+        with pytest.raises(ValueError):
+            sample_weights(rng, 1.0, -5)
+        with pytest.raises(ValueError):
+            sample_weights(rng, 1.0, 5, "gaussian")
+
+    def test_zero_samples(self):
+        assert sample_weights(make_rng(0), 1.0, 0).size == 0
+
+
+class TestScaleToCcr:
+    def test_exact_ccr(self):
+        rng = make_rng(3)
+        comp = sample_weights(rng, 2.0, 500)
+        comm = sample_weights(rng, 7.0, 800)
+        for target in (0.2, 1.0, 5.0):
+            scaled = scale_to_ccr(comp, comm, target)
+            achieved = scaled.mean() / comp.mean()
+            assert achieved == pytest.approx(target, rel=1e-12)
+
+    def test_preserves_relative_magnitudes(self):
+        comp = np.array([1.0, 1.0])
+        comm = np.array([1.0, 3.0])
+        scaled = scale_to_ccr(comp, comm, 2.0)
+        assert scaled[1] / scaled[0] == pytest.approx(3.0)
+
+    def test_no_edges(self):
+        assert scale_to_ccr([1.0], [], 5.0).size == 0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            scale_to_ccr([1.0], [1.0], -1.0)
+        with pytest.raises(ValueError):
+            scale_to_ccr([], [1.0], 1.0)
+        with pytest.raises(ValueError):
+            scale_to_ccr([1.0], [0.0, 0.0], 1.0)

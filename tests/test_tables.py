@@ -1,0 +1,115 @@
+"""Tests for the text table/chart renderers."""
+
+import math
+
+import pytest
+
+from repro.util.tables import (
+    format_bar_chart,
+    format_float,
+    format_series_chart,
+    format_table,
+)
+
+
+class TestFormatFloat:
+    def test_integers_drop_fraction(self):
+        assert format_float(3.0) == "3"
+        assert format_float(-7.0) == "-7"
+
+    def test_fixed_digits(self):
+        assert format_float(3.14159, digits=2) == "3.14"
+        assert format_float(3.14159) == "3.142"
+
+    def test_nan_and_none(self):
+        assert format_float(float("nan")) == "-"
+        assert format_float(None) == "-"
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 22.25]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # Right-aligned numeric column at 3 fixed digits.
+        assert lines[3].rstrip().endswith("1.500")
+        assert lines[4].rstrip().endswith("22.250")
+
+    def test_mixed_cell_types(self):
+        text = format_table(["a", "b"], [[1, "x"], [2.5, None]])
+        assert "2.5" in text
+        assert "None" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_explicit_alignment(self):
+        text = format_table(["a", "b"], [["xx", "yy"]], align=["r", "l"])
+        assert "xx" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestSeriesChart:
+    def test_contains_markers_and_legend(self):
+        text = format_series_chart(
+            [1, 2, 4], {"flb": [1.0, 2.0, 4.0], "etf": [1.0, 1.5, 2.0]},
+            title="t", x_label="P",
+        )
+        assert "legend:" in text
+        assert "o=flb" in text
+        assert "x=etf" in text
+        assert "o" in text.splitlines()[1:][0] or any(
+            "o" in l for l in text.splitlines()
+        )
+
+    def test_constant_series_does_not_crash(self):
+        text = format_series_chart([1, 2], {"s": [5.0, 5.0]})
+        assert "s" in text
+
+    def test_single_point(self):
+        text = format_series_chart([3], {"s": [1.0]})
+        assert "legend" in text
+
+    def test_none_values_skipped(self):
+        text = format_series_chart([1, 2, 3], {"s": [1.0, None, 3.0]})
+        assert "legend" in text
+
+    def test_empty_series(self):
+        assert format_series_chart([1], {}, title="empty") == "empty"
+        assert format_series_chart([1], {"s": []}, title="empty") == "empty"
+
+    def test_y_label_rendered(self):
+        text = format_series_chart([1, 2], {"s": [1.0, 2.0]}, y_label="speedup")
+        assert "speedup" in text
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        text = format_bar_chart(["a", "bb"], [1.0, 2.0], title="bars", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "bars"
+        a_hashes = lines[1].count("#")
+        b_hashes = lines[2].count("#")
+        assert b_hashes == 10
+        assert a_hashes == 5
+
+    def test_zero_values(self):
+        text = format_bar_chart(["a"], [0.0])
+        assert "#" not in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert format_bar_chart([], [], title="t") == "t"

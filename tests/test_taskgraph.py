@@ -1,0 +1,196 @@
+"""Tests for the TaskGraph model."""
+
+import pytest
+
+from repro.exceptions import CycleError, FrozenGraphError, GraphError
+from repro.graph import TaskGraph
+
+
+def diamond() -> TaskGraph:
+    """a -> {b, c} -> d."""
+    g = TaskGraph()
+    a = g.add_task(1.0, name="a")
+    b = g.add_task(2.0, name="b")
+    c = g.add_task(3.0, name="c")
+    d = g.add_task(4.0, name="d")
+    g.add_edge(a, b, 1.0)
+    g.add_edge(a, c, 2.0)
+    g.add_edge(b, d, 3.0)
+    g.add_edge(c, d, 4.0)
+    return g
+
+
+class TestConstruction:
+    def test_add_task_returns_dense_ids(self):
+        g = TaskGraph()
+        assert [g.add_task(1.0) for _ in range(4)] == [0, 1, 2, 3]
+        assert g.num_tasks == 4
+
+    def test_add_tasks_bulk(self):
+        g = TaskGraph()
+        assert g.add_tasks([1.0, 2.0, 3.0]) == [0, 1, 2]
+        assert g.comps == (1.0, 2.0, 3.0)
+
+    def test_comp_must_be_positive(self):
+        g = TaskGraph()
+        with pytest.raises(GraphError):
+            g.add_task(0.0)
+        with pytest.raises(GraphError):
+            g.add_task(-1.0)
+
+    def test_comm_must_be_nonnegative(self):
+        g = TaskGraph()
+        a, b = g.add_task(1.0), g.add_task(1.0)
+        g.add_edge(a, b, 0.0)  # zero comm is allowed
+        with pytest.raises(GraphError):
+            g.add_edge(b, a, -0.5)
+
+    def test_self_loop_rejected(self):
+        g = TaskGraph()
+        a = g.add_task(1.0)
+        with pytest.raises(GraphError):
+            g.add_edge(a, a, 1.0)
+
+    def test_duplicate_edge_rejected(self):
+        g = TaskGraph()
+        a, b = g.add_task(1.0), g.add_task(1.0)
+        g.add_edge(a, b, 1.0)
+        with pytest.raises(GraphError):
+            g.add_edge(a, b, 2.0)
+
+    def test_unknown_task_rejected(self):
+        g = TaskGraph()
+        a = g.add_task(1.0)
+        with pytest.raises(GraphError):
+            g.add_edge(a, 5, 1.0)
+
+    def test_names(self):
+        g = TaskGraph()
+        a = g.add_task(1.0, name="alpha")
+        b = g.add_task(1.0)
+        assert g.name(a) == "alpha"
+        assert g.name(b) == "t1"
+        g.set_name(b, "beta")
+        assert g.name(b) == "beta"
+
+
+class TestFreeze:
+    def test_freeze_idempotent(self):
+        g = diamond()
+        assert g.freeze() is g
+        assert g.freeze() is g
+        assert g.frozen
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph().freeze()
+
+    def test_cycle_detected(self):
+        g = TaskGraph()
+        a, b, c = g.add_task(1.0), g.add_task(1.0), g.add_task(1.0)
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        g.add_edge(c, a)
+        with pytest.raises(CycleError):
+            g.freeze()
+
+    def test_mutation_after_freeze_rejected(self):
+        g = diamond().freeze()
+        with pytest.raises(FrozenGraphError):
+            g.add_task(1.0)
+        with pytest.raises(FrozenGraphError):
+            g.add_edge(0, 3, 1.0)
+        with pytest.raises(FrozenGraphError):
+            g.set_name(0, "x")
+
+    def test_adjacency_requires_freeze(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.succs(0)
+        g.freeze()
+        assert g.succs(0) == (1, 2)
+        assert g.preds(3) == (1, 2)
+
+    def test_topological_order_valid(self):
+        g = diamond().freeze()
+        order = g.topological_order
+        pos = {t: i for i, t in enumerate(order)}
+        for src, dst, _ in g.edges():
+            assert pos[src] < pos[dst]
+
+    def test_entry_exit(self):
+        g = diamond().freeze()
+        assert g.entry_tasks == (0,)
+        assert g.exit_tasks == (3,)
+
+    def test_isolated_task_is_entry_and_exit(self):
+        g = TaskGraph()
+        g.add_task(1.0)
+        g.freeze()
+        assert g.entry_tasks == (0,)
+        assert g.exit_tasks == (0,)
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = diamond().freeze()
+        assert g.in_degree(0) == 0
+        assert g.out_degree(0) == 2
+        assert g.in_degree(3) == 2
+        assert g.out_degree(3) == 0
+
+    def test_edges_iteration(self):
+        g = diamond().freeze()
+        edges = set((s, d, c) for s, d, c in g.edges())
+        assert edges == {(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 4.0)}
+        assert g.num_edges == 4
+
+    def test_comm_lookup(self):
+        g = diamond().freeze()
+        assert g.comm(0, 2) == 2.0
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(2, 0)
+        with pytest.raises(KeyError):
+            g.comm(2, 0)
+
+    def test_totals(self):
+        g = diamond()
+        assert g.total_comp() == 10.0
+        assert g.total_comm() == 10.0
+
+    def test_repr(self):
+        g = diamond()
+        assert "V=4" in repr(g) and "building" in repr(g)
+        g.freeze()
+        assert "frozen" in repr(g)
+
+
+class TestCopyRelabel:
+    def test_copy_frozen(self):
+        g = diamond().freeze()
+        g2 = g.copy()
+        assert g2.frozen
+        assert g2.num_tasks == g.num_tasks
+        assert set(g2.edges()) == set(g.edges())
+
+    def test_copy_mutable(self):
+        g = diamond().freeze()
+        g2 = g.copy(mutable=True)
+        assert not g2.frozen
+        g2.add_task(5.0)
+        assert g2.num_tasks == 5
+        assert g.num_tasks == 4
+
+    def test_relabeled_preserves_structure(self):
+        g = diamond().freeze()
+        perm = [3, 1, 0, 2]  # old id -> new id
+        g2 = g.relabeled(perm)
+        assert g2.num_tasks == 4
+        assert g2.comp(perm[0]) == g.comp(0)
+        for src, dst, comm in g.edges():
+            assert g2.comm(perm[src], perm[dst]) == comm
+
+    def test_relabeled_rejects_non_permutation(self):
+        g = diamond().freeze()
+        with pytest.raises(GraphError):
+            g.relabeled([0, 0, 1, 2])
