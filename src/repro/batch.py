@@ -1,0 +1,214 @@
+"""Parallel batch scheduling: fan many (graph, procs, algo) jobs across
+worker processes.
+
+The north-star for this reproduction is serving scheduling requests at
+scale: one request is a task graph plus a machine size plus an algorithm
+choice, and the answer is a schedule summary.  :func:`schedule_many` is that
+front-end — it fans a list of :class:`BatchJob` across a
+``ProcessPoolExecutor`` (scheduling is pure CPU-bound Python, so processes,
+not threads), with per-job wall-clock timeouts and per-job error capture:
+one malformed graph or crashed worker produces a :class:`BatchResult` with
+``error`` set instead of poisoning the whole batch.
+
+Results deliberately carry scalar summaries (makespan, speedup, processors
+used, timing) rather than full :class:`~repro.schedule.Schedule` objects:
+a schedule is ``O(V)`` to pickle and batches are large; callers that need
+placements re-run the single job in-process — schedulers are deterministic,
+so the re-run reproduces the batch answer exactly.
+
+``repro-sched batch`` exposes this on the command line, and
+:func:`repro.bench.runner.run_sweep` uses it to parallelize the quality
+figures (Figs. 3/4) when asked for ``workers > 1``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence
+
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.model import MachineModel
+
+__all__ = ["BatchJob", "BatchResult", "schedule_many", "batch_throughput"]
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One scheduling request.
+
+    ``tag`` is an opaque caller identifier echoed into the result (problem
+    name, request id, ...).  ``machine`` overrides the default homogeneous
+    clique of ``procs`` processors.
+    """
+
+    graph: TaskGraph
+    procs: int
+    algo: str = "flb"
+    tag: str = ""
+    machine: Optional[MachineModel] = None
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one :class:`BatchJob`; ``error`` is ``None`` on success."""
+
+    tag: str
+    algo: str
+    procs: int
+    num_tasks: int
+    makespan: float
+    speedup: float
+    procs_used: int
+    seconds: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_job(job: BatchJob, validate: bool) -> BatchResult:
+    """Worker body: schedule one job, mapping any failure to ``error``.
+
+    Top-level so worker processes can import it; exceptions are rendered to
+    strings here because traceback objects do not cross process boundaries.
+    """
+    from repro.metrics.metrics import speedup as speedup_of
+    from repro.schedulers import get_scheduler
+
+    t0 = time.perf_counter()
+    try:
+        scheduler = get_scheduler(job.algo)
+        schedule = scheduler(job.graph, job.procs if job.machine is None else None,
+                             machine=job.machine)
+        if validate:
+            schedule.validate()
+        return BatchResult(
+            tag=job.tag,
+            algo=job.algo,
+            procs=schedule.num_procs,
+            num_tasks=job.graph.num_tasks,
+            makespan=schedule.makespan,
+            speedup=speedup_of(schedule),
+            procs_used=schedule.num_procs_used(),
+            seconds=time.perf_counter() - t0,
+            error=None,
+        )
+    except Exception:
+        return BatchResult(
+            tag=job.tag,
+            algo=job.algo,
+            procs=job.procs,
+            num_tasks=job.graph.num_tasks if job.graph is not None else 0,
+            makespan=float("nan"),
+            speedup=float("nan"),
+            procs_used=0,
+            seconds=time.perf_counter() - t0,
+            error=traceback.format_exc(limit=8),
+        )
+
+
+def _timeout_result(job: BatchJob, seconds: float, timeout: float) -> BatchResult:
+    return BatchResult(
+        tag=job.tag,
+        algo=job.algo,
+        procs=job.procs,
+        num_tasks=job.graph.num_tasks,
+        makespan=float("nan"),
+        speedup=float("nan"),
+        procs_used=0,
+        seconds=seconds,
+        error=f"timeout: job exceeded {timeout:g}s",
+    )
+
+
+def schedule_many(
+    jobs: Iterable[BatchJob],
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    validate: bool = False,
+) -> List[BatchResult]:
+    """Schedule every job, in parallel when ``workers > 1``.
+
+    Parameters
+    ----------
+    jobs:
+        The scheduling requests; results come back in the same order.
+    workers:
+        Worker process count; ``None`` means ``os.cpu_count()``.  With one
+        worker (or one job) everything runs inline in this process.
+    timeout:
+        Per-job wall-clock budget in seconds.  A job that exceeds it gets a
+        ``timeout`` :class:`BatchResult`; jobs not yet started are cancelled
+        and re-run inline (so the returned list is always complete) — only
+        the overrunning job is lost.  Ignored when running inline.
+    validate:
+        Re-check every produced schedule from first principles
+        (:meth:`~repro.schedule.Schedule.validate`) inside the worker.
+
+    Returns
+    -------
+    list[BatchResult]
+        One result per job, ``error`` set for failures — never raises for a
+        job-level problem.
+    """
+    jobs = list(jobs)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 1 or len(jobs) <= 1:
+        return [_run_job(job, validate) for job in jobs]
+
+    results: List[Optional[BatchResult]] = [None] * len(jobs)
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        future_index = {}
+        started = {}
+        for i, job in enumerate(jobs):
+            fut = pool.submit(_run_job, job, validate)
+            future_index[fut] = i
+            started[fut] = time.perf_counter()
+        pending = set(future_index)
+        while pending:
+            done, pending = wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            now = time.perf_counter()
+            for fut in done:
+                i = future_index[fut]
+                try:
+                    results[i] = fut.result()
+                except Exception:  # worker process died (e.g. OOM-kill)
+                    results[i] = replace(
+                        _run_job_error_stub(jobs[i]),
+                        error=traceback.format_exc(limit=4),
+                    )
+            if timeout is not None:
+                expired = [f for f in pending if now - started[f] > timeout]
+                for fut in expired:
+                    i = future_index[fut]
+                    if fut.cancel():
+                        # Never started: run it inline so the batch stays
+                        # complete; the pool was merely saturated.
+                        results[i] = _run_job(jobs[i], validate)
+                    else:
+                        results[i] = _timeout_result(
+                            jobs[i], now - started[fut], timeout
+                        )
+                    pending.discard(fut)
+        pool.shutdown(wait=False, cancel_futures=True)
+    return [r for r in results if r is not None]
+
+
+def _run_job_error_stub(job: BatchJob) -> BatchResult:
+    return _timeout_result(job, 0.0, 0.0)
+
+
+def batch_throughput(results: Sequence[BatchResult], wall_seconds: float) -> float:
+    """Aggregate scheduling throughput: total tasks scheduled per second of
+    batch wall-clock time (failed jobs contribute no tasks)."""
+    if wall_seconds <= 0:
+        raise ValueError(f"wall_seconds must be positive, got {wall_seconds}")
+    return sum(r.num_tasks for r in results if r.ok) / wall_seconds

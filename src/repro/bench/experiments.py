@@ -111,8 +111,15 @@ def run_fig2(
     algorithms: Sequence[str] = FIGURE_ALGORITHMS,
     problems: Sequence[str] = ("lu", "laplace", "stencil"),
     time_repeats: int = 3,
+    workers: int = 1,
 ) -> ExperimentReport:
-    """Reproduce Fig. 2: average algorithm running time vs P."""
+    """Reproduce Fig. 2: average algorithm running time vs P.
+
+    ``workers`` is accepted for CLI symmetry with the other figures but the
+    timed sweep itself always runs serially — parallel timing runs would
+    contend for cores and corrupt the cost measurements this figure is about.
+    """
+    del workers  # timing must stay serial; see docstring
     instances = paper_suite(target_tasks, seeds=seeds, problems=problems)
     records = run_sweep(
         instances, algorithms, procs, measure_time=True, time_repeats=time_repeats
@@ -152,10 +159,11 @@ def run_fig3(
     procs: Sequence[int] = (1,) + tuple(PAPER_PROCS),
     problems: Sequence[str] = PAPER_PROBLEMS,
     ccrs: Sequence[float] = PAPER_CCRS,
+    workers: int = 1,
 ) -> ExperimentReport:
     """Reproduce Fig. 3: FLB speedup vs P for each problem and CCR."""
     instances = paper_suite(target_tasks, ccrs=ccrs, seeds=seeds, problems=problems)
-    records = run_sweep(instances, ["flb"], procs)
+    records = run_sweep(instances, ["flb"], procs, workers=workers)
     mean_speedup = group_mean(
         records, key=lambda r: (r.problem, r.ccr, r.procs), value=lambda r: r.speedup
     )
@@ -196,6 +204,7 @@ def run_fig4(
     algorithms: Sequence[str] = FIGURE_ALGORITHMS,
     problems: Sequence[str] = ("lu", "stencil", "laplace"),
     ccrs: Sequence[float] = PAPER_CCRS,
+    workers: int = 1,
 ) -> ExperimentReport:
     """Reproduce Fig. 4: average NSL (vs MCP) per problem, CCR and P.
 
@@ -205,7 +214,7 @@ def run_fig4(
     if "mcp" not in algorithms:
         algorithms = tuple(algorithms) + ("mcp",)
     instances = paper_suite(target_tasks, ccrs=ccrs, seeds=seeds, problems=problems)
-    records = run_sweep(instances, algorithms, procs)
+    records = run_sweep(instances, algorithms, procs, workers=workers)
     by_key: Dict[Tuple, Dict[str, float]] = {}
     for rec in records:
         by_key.setdefault(

@@ -39,11 +39,57 @@ def run_sweep(
     measure_time: bool = False,
     time_repeats: int = 3,
     validate: bool = False,
+    workers: int = 1,
 ) -> List[RunRecord]:
-    """Run every algorithm on every instance at every processor count."""
+    """Run every algorithm on every instance at every processor count.
+
+    With ``workers > 1`` the (instance, algorithm, P) jobs fan out across
+    worker processes via :func:`repro.batch.schedule_many` — except when
+    ``measure_time`` is set: timing must stay serial in this process, or
+    the measurements would contend for cores and each other's caches.
+    A job failure (any ``BatchResult.error``) raises, matching the serial
+    path where scheduler exceptions propagate.
+    """
     unknown = [a for a in algorithms if a not in SCHEDULERS]
     if unknown:
         raise ValueError(f"unknown algorithms: {unknown}")
+    instances = list(instances)
+
+    if workers > 1 and not measure_time:
+        from repro.batch import BatchJob, schedule_many
+
+        jobs = []
+        meta = []
+        for inst in instances:
+            for procs in procs_list:
+                for algo in algorithms:
+                    jobs.append(
+                        BatchJob(graph=inst.graph, procs=procs, algo=algo,
+                                 tag=inst.problem)
+                    )
+                    meta.append(inst)
+        results = schedule_many(jobs, workers=workers, validate=validate)
+        records = []
+        for job, inst, res in zip(jobs, meta, results):
+            if not res.ok:
+                raise RuntimeError(
+                    f"{res.algo} on {inst.problem} (P={res.procs}) failed:\n"
+                    f"{res.error}"
+                )
+            records.append(
+                RunRecord(
+                    problem=inst.problem,
+                    ccr=inst.ccr,
+                    seed_index=inst.seed_index,
+                    algorithm=res.algo,
+                    procs=res.procs,
+                    makespan=res.makespan,
+                    speedup=res.speedup,
+                    seconds=None,
+                )
+            )
+        return records
+
     records: List[RunRecord] = []
     for inst in instances:
         for procs in procs_list:

@@ -69,9 +69,12 @@ _PROBLEMS = ("lu", "lu-chain", "laplace", "stencil", "fft", "cholesky", "wavefro
 
 _EXPERIMENTS = {
     "table1": lambda args: run_table1(),
-    "fig2": lambda args: run_fig2(args.tasks, seeds=args.seeds, procs=(2, 8, 32), time_repeats=1),
-    "fig3": lambda args: run_fig3(args.tasks, seeds=args.seeds, procs=(1, 2, 8, 32)),
-    "fig4": lambda args: run_fig4(args.tasks, seeds=args.seeds, procs=(2, 8, 32)),
+    "fig2": lambda args: run_fig2(args.tasks, seeds=args.seeds, procs=(2, 8, 32), time_repeats=1,
+                                  workers=args.workers),
+    "fig3": lambda args: run_fig3(args.tasks, seeds=args.seeds, procs=(1, 2, 8, 32),
+                                  workers=args.workers),
+    "fig4": lambda args: run_fig4(args.tasks, seeds=args.seeds, procs=(2, 8, 32),
+                                  workers=args.workers),
     "scaling": lambda args: run_scaling(),
     "ties": lambda args: run_ablation_ties(args.tasks, seeds=args.seeds),
     "llb": lambda args: run_ablation_llb(args.tasks, seeds=args.seeds),
@@ -166,7 +169,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--tasks", type=int, default=400)
     p_exp.add_argument("--seeds", type=int, default=2)
+    p_exp.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the fig3/fig4 sweeps "
+                       "(timed experiments always run serially)")
     p_exp.add_argument("-o", "--output", help="also write the report(s) to this file")
+
+    p_batch = sub.add_parser(
+        "batch", help="schedule many (problem, P, algo) jobs across worker processes"
+    )
+    p_batch.add_argument("--problems", nargs="+", choices=_PROBLEMS, default=["lu"],
+                         help="workload families (one graph per problem x seed)")
+    p_batch.add_argument("--procs", nargs="+", type=int, default=[8],
+                         help="processor counts")
+    p_batch.add_argument("--algos", nargs="+", choices=sorted(SCHEDULERS),
+                         default=["flb"], help="algorithms")
+    p_batch.add_argument("--tasks", type=int, default=500, help="approximate task count")
+    p_batch.add_argument("--ccr", type=float, default=1.0)
+    p_batch.add_argument("--seeds", type=int, default=1,
+                         help="weight RNG seeds per problem (0..seeds-1)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: cpu count)")
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock budget in seconds")
+    p_batch.add_argument("--validate", action="store_true",
+                         help="re-check every schedule from first principles")
 
     return parser
 
@@ -309,8 +335,56 @@ def _cmd_execute(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    import time as _time
+
+    from repro.batch import BatchJob, batch_throughput, schedule_many
+
+    jobs = []
+    for problem in args.problems:
+        for seed in range(args.seeds):
+            graph = _build_problem(problem, args.tasks, args.ccr, seed)
+            for procs in args.procs:
+                for algo in args.algos:
+                    jobs.append(
+                        BatchJob(graph=graph, procs=procs, algo=algo,
+                                 tag=f"{problem}/s{seed}")
+                    )
+    t0 = _time.perf_counter()
+    results = schedule_many(
+        jobs, workers=args.workers, timeout=args.timeout, validate=args.validate
+    )
+    wall = _time.perf_counter() - t0
+    rows = []
+    failures = 0
+    for res in results:
+        if res.ok:
+            rows.append([res.tag, res.algo, res.procs, res.num_tasks,
+                         res.makespan, res.speedup, res.seconds * 1e3])
+        else:
+            failures += 1
+            first_line = res.error.strip().splitlines()[-1]
+            rows.append([res.tag, res.algo, res.procs, res.num_tasks,
+                         float("nan"), float("nan"), res.seconds * 1e3])
+            print(f"FAILED {res.tag} {res.algo} P={res.procs}: {first_line}",
+                  file=sys.stderr)
+    print(
+        format_table(
+            ["job", "algorithm", "P", "V", "makespan", "speedup", "time [ms]"],
+            rows,
+            title=f"batch: {len(jobs)} jobs, workers={args.workers or 'auto'}",
+        )
+    )
+    print(
+        f"\n{len(results) - failures}/{len(jobs)} ok in {wall:.3f}s "
+        f"({batch_throughput(results, wall):,.0f} tasks/s)"
+    )
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
+    "batch": _cmd_batch,
     "schedule": _cmd_schedule,
     "compare": _cmd_compare,
     "trace": _cmd_trace,

@@ -21,10 +21,11 @@ from repro.graph.properties import (
     width,
     width_lower_bound,
 )
-from repro.graph.taskgraph import TaskGraph
+from repro.graph.taskgraph import AdjacencyCSR, TaskGraph
 
 __all__ = [
     "TaskGraph",
+    "AdjacencyCSR",
     "bottom_levels",
     "top_levels",
     "static_levels",

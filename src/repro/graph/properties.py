@@ -49,16 +49,23 @@ __all__ = [
 
 
 def bottom_levels(graph: TaskGraph) -> List[float]:
-    """``BL(t)`` for every task (communication included, ``comp(t)`` included)."""
+    """``BL(t)`` for every task (communication included, ``comp(t)`` included).
+
+    Runs on the CSR adjacency view: every scheduler computes bottom levels
+    up front, so this ``O(V + E)`` sweep is part of each one's hot start.
+    """
     graph.freeze()
+    csr = graph.csr()
+    succ_ptr, succ_ids, succ_comm = csr.succ_ptr, csr.succ_ids, csr.succ_comm
+    comps = graph.comps
     bl = [0.0] * graph.num_tasks
     for t in reversed(graph.topological_order):
         best = 0.0
-        for s in graph.succs(t):
-            cand = graph.comm(t, s) + bl[s]
+        for i in range(succ_ptr[t], succ_ptr[t + 1]):
+            cand = succ_comm[i] + bl[succ_ids[i]]
             if cand > best:
                 best = cand
-        bl[t] = graph.comp(t) + best
+        bl[t] = comps[t] + best
     return bl
 
 

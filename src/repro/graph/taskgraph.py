@@ -17,11 +17,38 @@ optional human-readable name used by traces, Gantt charts, and DOT export.
 
 from __future__ import annotations
 
+from array import array
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import CycleError, FrozenGraphError, GraphError
 
-__all__ = ["TaskGraph"]
+__all__ = ["TaskGraph", "AdjacencyCSR"]
+
+
+@dataclass(frozen=True)
+class AdjacencyCSR:
+    """Flat compressed-sparse-row view of a frozen :class:`TaskGraph`.
+
+    Predecessors of task ``t`` are ``pred_ids[pred_ptr[t]:pred_ptr[t+1]]``
+    (ascending id order, matching :meth:`TaskGraph.preds`) with the edge's
+    communication cost at the same index in ``pred_comm``; ``succ_*`` is the
+    mirrored successor view.  Schedulers' hot loops iterate these arrays with
+    index arithmetic instead of tuple-keyed dictionary lookups — see
+    ``docs/performance.md``.
+    """
+
+    pred_ptr: array  # array('i'), length V+1
+    pred_ids: array  # array('i'), length E
+    pred_comm: array  # array('d'), length E
+    succ_ptr: array  # array('i'), length V+1
+    succ_ids: array  # array('i'), length E
+    succ_comm: array  # array('d'), length E
+
+    def in_degrees(self) -> List[int]:
+        """Per-task predecessor counts as a plain list (hot-loop friendly)."""
+        ptr = self.pred_ptr
+        return [ptr[t + 1] - ptr[t] for t in range(len(ptr) - 1)]
 
 
 class TaskGraph:
@@ -47,6 +74,7 @@ class TaskGraph:
         "_topo",
         "_entries",
         "_exits",
+        "_csr",
     )
 
     def __init__(self) -> None:
@@ -59,6 +87,7 @@ class TaskGraph:
         self._topo: Tuple[int, ...] = ()
         self._entries: Tuple[int, ...] = ()
         self._exits: Tuple[int, ...] = ()
+        self._csr: Optional[AdjacencyCSR] = None
 
     # -- construction -------------------------------------------------------
 
@@ -72,9 +101,27 @@ class TaskGraph:
         self._names.append(name)
         return len(self._comp) - 1
 
-    def add_tasks(self, comps: Iterable[float]) -> List[int]:
-        """Add several tasks; return their ids in order."""
-        return [self.add_task(c) for c in comps]
+    def add_tasks(
+        self,
+        comps: Iterable[float],
+        names: Optional[Iterable[Optional[str]]] = None,
+    ) -> List[int]:
+        """Add several tasks; return their ids in order.
+
+        ``names``, when given, is a parallel iterable of task names (``None``
+        entries leave the default ``t<id>`` name); it must have exactly one
+        entry per computation cost.
+        """
+        comps = list(comps)
+        if names is None:
+            return [self.add_task(c) for c in comps]
+        names = list(names)
+        if len(names) != len(comps):
+            raise GraphError(
+                f"names must parallel comps: got {len(names)} names "
+                f"for {len(comps)} tasks"
+            )
+        return [self.add_task(c, name=n) for c, n in zip(comps, names)]
 
     def add_edge(self, src: int, dst: int, comm: float = 0.0) -> None:
         """Add a dependency ``src -> dst`` with communication cost ``comm``."""
@@ -133,8 +180,31 @@ class TaskGraph:
         self._topo = tuple(topo)
         self._entries = tuple(t for t in range(n) if not self._preds[t])
         self._exits = tuple(t for t in range(n) if not self._succs[t])
+        self._csr = self._compile_csr()
         self._frozen = True
         return self
+
+    def _compile_csr(self) -> AdjacencyCSR:
+        """Flatten the adjacency into CSR arrays (one-time, ``O(V + E)``)."""
+        n = len(self._comp)
+        edges = self._edges
+        pred_ptr = array("i", [0]) * (n + 1)
+        pred_ids = array("i")
+        pred_comm = array("d")
+        succ_ptr = array("i", [0]) * (n + 1)
+        succ_ids = array("i")
+        succ_comm = array("d")
+        for t in range(n):
+            for p in self._preds[t]:
+                pred_ids.append(p)
+                pred_comm.append(edges[(p, t)])
+            pred_ptr[t + 1] = len(pred_ids)
+        for t in range(n):
+            for s in self._succs[t]:
+                succ_ids.append(s)
+                succ_comm.append(edges[(t, s)])
+            succ_ptr[t + 1] = len(succ_ids)
+        return AdjacencyCSR(pred_ptr, pred_ids, pred_comm, succ_ptr, succ_ids, succ_comm)
 
     # -- queries -------------------------------------------------------------
 
@@ -189,6 +259,17 @@ class TaskGraph:
         """Predecessor ids of ``task`` (frozen graphs only)."""
         self._check_frozen()
         return self._preds[task]
+
+    def csr(self) -> AdjacencyCSR:
+        """Flat CSR adjacency view, compiled on :meth:`freeze`.
+
+        The fast scheduling kernels iterate this instead of the tuple-keyed
+        edge dictionary; the dict API stays authoritative for construction,
+        traces, and serialization.  Frozen graphs only.
+        """
+        self._check_frozen()
+        assert self._csr is not None
+        return self._csr
 
     def in_degree(self, task: int) -> int:
         self._check_frozen()

@@ -104,6 +104,28 @@ class Schedule:
             self._prt[proc] = finish
         return ScheduledTask(task, proc, start, finish)
 
+    def _append(self, task: int, proc: int, start: float) -> float:
+        """Non-insertion append without validation; returns the finish time.
+
+        The fast scheduling kernels (``docs/performance.md``) use this in
+        place of :meth:`place`; the caller guarantees everything ``place``
+        checks — valid ids, an unscheduled task, and ``start >= PRT(proc)``
+        — and the equivalence/validation test suite re-checks the resulting
+        schedules from first principles via :meth:`violations`.
+        """
+        speeds = self._machine.speeds
+        comp = self._graph.comp(task)
+        finish = start + (comp if speeds is None else comp / speeds[proc])
+        self._proc[task] = proc
+        self._start[task] = start
+        self._finish[task] = finish
+        self._placed[task] = True
+        self._num_placed += 1
+        self._proc_tasks[proc].append(task)
+        if finish > self._prt[proc]:
+            self._prt[proc] = finish
+        return finish
+
     def _insertion_position(
         self, proc: int, start: float, finish: float, task: int
     ) -> int:

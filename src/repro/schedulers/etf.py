@@ -12,6 +12,14 @@ processor id — matching the paper's remark that "ETF uses statically
 computed task priorities" where FLB uses dynamic message-arrival priorities.
 That difference in tie-breaking is the only way the two algorithms' outputs
 can diverge (Theorem 3), and is what the X2 ablation benchmark measures.
+
+Implementation note (``docs/performance.md``): the inner ``EST`` evaluation
+runs on the graph's CSR view with task finish/processor data hoisted into
+local arrays, but the exhaustive per-(task, processor) predecessor scan is
+deliberately *kept* — memoizing per-ready-task message maxima would collapse
+the ``E x P`` product out of ETF's cost and silently falsify the paper's
+Fig. 2 cost comparison (guarded by ``tests/test_paper_claims.py``).  The
+CSR rewrite changes constants only, never the complexity.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from repro.graph.properties import bottom_levels
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.model import MachineModel
 from repro.schedule.schedule import Schedule
-from repro.schedulers.base import ReadyTracker, est_on, resolve_machine
+from repro.schedulers.base import resolve_machine
 
 __all__ = ["etf"]
 
@@ -37,23 +45,59 @@ def etf(
     machine = resolve_machine(num_procs, machine)
     schedule = Schedule(graph, machine)
     bl = bottom_levels(graph)
-    tracker = ReadyTracker(graph)
+    n = graph.num_tasks
+    csr = graph.csr()
+    pred_ptr, pred_ids, pred_comm = csr.pred_ptr, csr.pred_ids, csr.pred_comm
+    succ_ptr, succ_ids = csr.succ_ptr, csr.succ_ids
+    lat, scale = machine.latency, machine.comm_scale
+    procs = range(machine.num_procs)
 
-    for _ in range(graph.num_tasks):
-        best_key = None
+    finish = [0.0] * n
+    on_proc = [0] * n
+    npreds = csr.in_degrees()
+    prt = [0.0] * machine.num_procs
+    ready = list(graph.entry_tasks)
+
+    for _ in range(n):
+        best_est = float("inf")
+        best_tie = (0.0, -1, -1)  # (-BL, task, proc)
         best_task = -1
         best_proc = -1
-        best_est = 0.0
-        for task in tracker.ready:
-            for proc in machine.procs:
-                est = est_on(schedule, task, proc)
-                key = (est, -bl[task], task, proc)
-                if best_key is None or key < best_key:
-                    best_key = key
-                    best_task, best_proc, best_est = task, proc, est
-        assert best_key is not None, "ready set empty with tasks unscheduled"
-        schedule.place(best_task, best_proc, best_est)
-        tracker.remove_ready(best_task)
-        tracker.mark_scheduled(best_task)
+        for task in ready:
+            nbl = -bl[task]
+            lo = pred_ptr[task]
+            hi = pred_ptr[task + 1]
+            for proc in procs:
+                # EMT(task, proc): same-processor messages are free.
+                emt = 0.0
+                for i in range(lo, hi):
+                    pred = pred_ids[i]
+                    ft = finish[pred]
+                    # Parenthesised like MachineModel.remote_delay so the
+                    # float rounding matches the reference exactly.
+                    arr = ft if on_proc[pred] == proc else ft + (lat + scale * pred_comm[i])
+                    if arr > emt:
+                        emt = arr
+                rt = prt[proc]
+                est = emt if emt > rt else rt
+                if est < best_est or (
+                    est == best_est and (nbl, task, proc) < best_tie
+                ):
+                    best_est = est
+                    best_tie = (nbl, task, proc)
+                    best_task = task
+                    best_proc = proc
+        assert best_task >= 0, "ready set empty with tasks unscheduled"
+        ft = schedule._append(best_task, best_proc, best_est)
+        prt[best_proc] = ft
+        finish[best_task] = ft
+        on_proc[best_task] = best_proc
+        ready.remove(best_task)
+
+        for j in range(succ_ptr[best_task], succ_ptr[best_task + 1]):
+            succ = succ_ids[j]
+            npreds[succ] -= 1
+            if not npreds[succ]:
+                ready.append(succ)
 
     return schedule

@@ -13,10 +13,19 @@ The difference from FLB is purely in *task* selection: FCP picks the ready
 task with the best static priority, which need not be the task that can
 start the earliest; FLB strengthens the selection to the ETF criterion at
 the same asymptotic cost.  Complexity: ``O(V (log W + log P) + E)``.
+
+Implementation note (``docs/performance.md``): the hot loops run on the
+graph's CSR view.  A task's predecessors are all placed by the time it
+becomes ready, so a single fused pass computes its ``LMT``, enabling
+processor, and ``EMT`` on that processor together; the ready queue is a
+plain :mod:`heapq` (tasks enter and leave exactly once) and the idle
+processor queue uses lazy invalidation keyed on the strictly increasing
+``PRT``.
 """
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
 from typing import Optional
 
 from repro.graph.properties import bottom_levels
@@ -24,7 +33,6 @@ from repro.graph.taskgraph import TaskGraph
 from repro.machine.model import MachineModel
 from repro.schedule.schedule import Schedule
 from repro.schedulers.base import resolve_machine
-from repro.util.heap import IndexedHeap
 
 __all__ = ["fcp"]
 
@@ -40,57 +48,86 @@ def fcp(
     schedule = Schedule(graph, machine)
     bl = bottom_levels(graph)
     n = graph.num_tasks
+    csr = graph.csr()
+    pred_ptr, pred_ids, pred_comm = csr.pred_ptr, csr.pred_ids, csr.pred_comm
+    succ_ptr, succ_ids = csr.succ_ptr, csr.succ_ids
+    lat, scale = machine.latency, machine.comm_scale
 
-    ready: IndexedHeap = IndexedHeap()  # key: (-bottom level, id)
-    idle: IndexedHeap = IndexedHeap()  # processors by (PRT, id)
-    for p in machine.procs:
-        idle.push(p, (0.0, p))
-    # Cached per-ready-task data: last message arrival and enabling processor.
+    ready: list = [(-bl[t], t) for t in graph.entry_tasks]
+    heapify(ready)
+    # Processors by (PRT, id); an entry is current iff its key equals the
+    # processor's PRT, which strictly increases — stale entries sink out.
+    prt = [0.0] * machine.num_procs
+    idle_heap = [(0.0, p) for p in machine.procs]  # sorted => a valid heap
+    # Cached per-ready-task data, all fixed once the task becomes ready:
+    # last message arrival, enabling processor, and EMT on it.
+    finish = [0.0] * n
+    on_proc = [0] * n
     lmt = [0.0] * n
     ep = [0] * n
-    unscheduled_preds = [graph.in_degree(t) for t in graph.tasks()]
-    for t in graph.entry_tasks:
-        ready.push(t, (-bl[t], t))
+    emt_ep = [0.0] * n
+    npreds = csr.in_degrees()
 
     while ready:
-        task, _ = ready.pop()
+        _, task = heappop(ready)
         # Candidate 1: the enabling processor (last message becomes free).
         ep_proc = ep[task]
-        emt_ep = 0.0
-        for pred in graph.preds(task):
-            arrival = schedule.finish_of(pred) + machine.comm_delay(
-                schedule.proc_of(pred), ep_proc, graph.comm(pred, task)
-            )
-            if arrival > emt_ep:
-                emt_ep = arrival
-        est_ep = max(emt_ep, schedule.prt(ep_proc))
+        est_ep = max(emt_ep[task], prt[ep_proc])
         # Candidate 2: the earliest-idle processor (all messages remote).
-        idle_proc = idle.peek_item()
-        assert idle_proc is not None
-        est_idle = max(lmt[task], schedule.prt(idle_proc))
+        while True:
+            idle_prt, idle_proc = idle_heap[0]
+            if prt[idle_proc] == idle_prt:
+                break
+            heappop(idle_heap)
+        est_idle = max(lmt[task], idle_prt)
         if est_ep <= est_idle:
             proc, est = ep_proc, est_ep
         else:
             proc, est = idle_proc, est_idle
 
-        placed = schedule.place(task, proc, est)
-        idle.update(proc, (placed.finish, proc))
+        ft = schedule._append(task, proc, est)
+        prt[proc] = ft
+        heappush(idle_heap, (ft, proc))
+        finish[task] = ft
+        on_proc[task] = proc
 
-        for succ in graph.succs(task):
-            unscheduled_preds[succ] -= 1
-            if unscheduled_preds[succ] > 0:
+        for j in range(succ_ptr[task], succ_ptr[task + 1]):
+            succ = succ_ids[j]
+            npreds[succ] -= 1
+            if npreds[succ]:
                 continue
-            best = (-1.0, -1.0, -1)
-            for pred in graph.preds(succ):
-                ft = schedule.finish_of(pred)
-                arrival = ft + machine.remote_delay(graph.comm(pred, succ))
-                key = (arrival, ft, pred)
-                if key > best:
-                    best = key
-                    lmt[succ] = arrival
-                    ep[succ] = schedule.proc_of(pred)
-            if not graph.preds(succ):  # unreachable: succ has a pred (task)
-                lmt[succ] = 0.0
-            ready.push(succ, (-bl[succ], succ))
+            # Fused pass: LMT/EP with the (arrival, FT, id) tie rule, plus
+            # EMT on EP = max(max FT, best arrival from off-EP processors);
+            # see the matching loop in repro.core.flb for the derivation.
+            b_arr = -1.0
+            b_ft = -1.0
+            b_id = -1
+            b_proc = 0
+            alt = 0.0
+            max_ft = 0.0
+            for i in range(pred_ptr[succ], pred_ptr[succ + 1]):
+                pred = pred_ids[i]
+                ft = finish[pred]
+                # Parenthesised like MachineModel.remote_delay so the float
+                # rounding matches the reference implementations exactly.
+                arr = ft + (lat + scale * pred_comm[i])
+                pp = on_proc[pred]
+                if ft > max_ft:
+                    max_ft = ft
+                if arr > b_arr or (
+                    arr == b_arr and (ft > b_ft or (ft == b_ft and pred > b_id))
+                ):
+                    if pp != b_proc and b_arr > alt:
+                        alt = b_arr
+                    b_arr = arr
+                    b_ft = ft
+                    b_id = pred
+                    b_proc = pp
+                elif pp != b_proc and arr > alt:
+                    alt = arr
+            lmt[succ] = b_arr
+            ep[succ] = b_proc
+            emt_ep[succ] = max_ft if max_ft > alt else alt
+            heappush(ready, (-bl[succ], succ))
 
     return schedule

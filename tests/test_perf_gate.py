@@ -1,0 +1,89 @@
+"""Throughput perf gate: threshold logic (deterministic) and a smoke
+measurement (marked ``perfgate``; run via ``tools/perf_smoke.sh``)."""
+
+import json
+
+import pytest
+
+from repro.bench.perfgate import measure_throughput, run_gate
+
+
+def _current(tasks_per_s):
+    return {"tasks_per_s": tasks_per_s, "total_tasks": 1000, "suite": {}}
+
+
+class TestGateLogic:
+    def test_first_run_bootstraps_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        result = run_gate(current=_current(1000.0), baseline_path=path)
+        assert result.ok
+        assert result.threshold is None
+        stored = json.loads(path.read_text())
+        assert stored["baseline"]["tasks_per_s"] == 1000.0
+        assert stored["current"]["tasks_per_s"] == 1000.0
+
+    def test_within_tolerance_passes(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        run_gate(current=_current(1000.0), baseline_path=path)
+        result = run_gate(
+            current=_current(810.0), baseline_path=path, tolerance=0.20
+        )
+        assert result.ok
+        assert result.threshold == pytest.approx(800.0)
+
+    def test_regression_fails(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        run_gate(current=_current(1000.0), baseline_path=path)
+        result = run_gate(
+            current=_current(790.0), baseline_path=path, tolerance=0.20
+        )
+        assert not result.ok
+        assert "REGRESSION" in result.message
+        # The failed measurement is still recorded; the baseline is not.
+        stored = json.loads(path.read_text())
+        assert stored["baseline"]["tasks_per_s"] == 1000.0
+        assert stored["current"]["tasks_per_s"] == 790.0
+        assert stored["last_run"]["ok"] is False
+
+    def test_improvement_does_not_move_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        run_gate(current=_current(1000.0), baseline_path=path)
+        result = run_gate(current=_current(5000.0), baseline_path=path)
+        assert result.ok
+        assert json.loads(path.read_text())["baseline"]["tasks_per_s"] == 1000.0
+
+    def test_update_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        run_gate(current=_current(1000.0), baseline_path=path)
+        result = run_gate(
+            current=_current(700.0), baseline_path=path, update_baseline=True
+        )
+        assert result.ok
+        assert json.loads(path.read_text())["baseline"]["tasks_per_s"] == 700.0
+
+    def test_no_write_leaves_file_alone(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        run_gate(current=_current(1000.0), baseline_path=path)
+        before = path.read_text()
+        run_gate(current=_current(100.0), baseline_path=path, write=False)
+        assert path.read_text() == before
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_gate(
+                current=_current(1.0),
+                baseline_path=tmp_path / "b.json",
+                tolerance=1.5,
+            )
+
+
+@pytest.mark.perfgate
+def test_measure_throughput_smoke(tmp_path):
+    """A real (small) measurement flows through the gate end to end."""
+    current = measure_throughput(
+        target_tasks=150, seeds=1, procs=(2, 8), repeats=1
+    )
+    assert current["tasks_per_s"] > 0
+    assert current["speedup_vs_seed"] > 1.0  # fast path must actually be faster
+    result = run_gate(current=current, baseline_path=tmp_path / "BENCH_sched.json")
+    assert result.ok

@@ -31,6 +31,22 @@ class TestConstruction:
         assert g.add_tasks([1.0, 2.0, 3.0]) == [0, 1, 2]
         assert g.comps == (1.0, 2.0, 3.0)
 
+    def test_add_tasks_with_names(self):
+        g = TaskGraph()
+        ids = g.add_tasks([1.0, 2.0], names=["load", "solve"])
+        assert [g.name(t) for t in ids] == ["load", "solve"]
+
+    def test_add_tasks_names_length_mismatch(self):
+        g = TaskGraph()
+        with pytest.raises(GraphError):
+            g.add_tasks([1.0, 2.0], names=["only-one"])
+        assert g.num_tasks == 0  # a rejected bulk add must not half-apply
+
+    def test_add_tasks_names_accepts_lazy_iterables(self):
+        g = TaskGraph()
+        ids = g.add_tasks(iter([1.0, 2.0, 3.0]), names=(f"t{i}" for i in range(3)))
+        assert [g.name(t) for t in ids] == ["t0", "t1", "t2"]
+
     def test_comp_must_be_positive(self):
         g = TaskGraph()
         with pytest.raises(GraphError):
@@ -194,3 +210,54 @@ class TestCopyRelabel:
         g = diamond().freeze()
         with pytest.raises(GraphError):
             g.relabeled([0, 0, 1, 2])
+
+
+class TestCsr:
+    def test_requires_freeze(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.csr()
+
+    def test_matches_dict_adjacency(self):
+        g = diamond().freeze()
+        csr = g.csr()
+        assert len(csr.pred_ptr) == g.num_tasks + 1
+        assert csr.pred_ptr[0] == 0 and csr.pred_ptr[-1] == g.num_edges
+        assert len(csr.succ_ids) == len(csr.succ_comm) == g.num_edges
+        for t in g.tasks():
+            lo, hi = csr.pred_ptr[t], csr.pred_ptr[t + 1]
+            assert tuple(csr.pred_ids[lo:hi]) == g.preds(t)
+            assert list(csr.pred_comm[lo:hi]) == [
+                g.comm(p, t) for p in g.preds(t)
+            ]
+            lo, hi = csr.succ_ptr[t], csr.succ_ptr[t + 1]
+            assert tuple(csr.succ_ids[lo:hi]) == g.succs(t)
+            assert list(csr.succ_comm[lo:hi]) == [
+                g.comm(t, s) for s in g.succs(t)
+            ]
+
+    def test_in_degrees(self):
+        g = diamond().freeze()
+        assert g.csr().in_degrees() == [g.in_degree(t) for t in g.tasks()]
+
+    def test_matches_on_random_graph(self):
+        from repro.util.rng import make_rng
+        from repro.workloads import layered_random
+
+        g = layered_random(5, 6, make_rng(11), edge_density=0.4, ccr=1.0)
+        g.freeze()
+        csr = g.csr()
+        for t in g.tasks():
+            lo, hi = csr.pred_ptr[t], csr.pred_ptr[t + 1]
+            assert tuple(csr.pred_ids[lo:hi]) == g.preds(t)
+
+    def test_copy_recompiles(self):
+        g = diamond().freeze()
+        g2 = g.copy(mutable=True)
+        e = g2.add_task(9.0, name="e")
+        g2.add_edge(3, e, 1.5)
+        g2.freeze()
+        csr = g2.csr()
+        lo, hi = csr.pred_ptr[e], csr.pred_ptr[e + 1]
+        assert tuple(csr.pred_ids[lo:hi]) == (3,)
+        assert csr.pred_comm[lo] == 1.5

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Fast-path performance smoke: the perfgate-marked checks plus a small gate
+# run against the stored baseline.  Designed to finish in well under a
+# minute; see docs/performance.md and ROADMAP.md (tier-1).
+#
+# Usage: tools/perf_smoke.sh          (from the repo root)
+set -eu
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+# Equivalence + 2x-over-seed floor at smoke scale (REPRO_BENCH_TASKS=300).
+python -m pytest -m perfgate -q benchmarks/bench_throughput.py tests/test_perf_gate.py -p no:cacheprovider
+
+# Throughput gate at smoke scale against the stored full-scale baseline.
+# Smoke graphs are ~7x smaller than the baseline's, so per-task overheads
+# differ; a generous tolerance catches collapses, not noise.  --no-write
+# keeps BENCH_sched.json recording full-scale numbers only.
+python benchmarks/perf_gate.py --tasks 300 --seeds 1 --repeats 1 --no-seed \
+    --tolerance 0.6 --no-write
+
+echo "perf smoke OK"
