@@ -12,7 +12,7 @@ This bench quantifies the gap distribution on the benchmark suite.
 import numpy as np
 import pytest
 
-from repro.bench import run_ablation_ties, run_sweep
+from repro.bench import run_ablation_ties
 from repro.schedulers import SCHEDULERS
 
 

@@ -11,7 +11,7 @@ import pytest
 
 from repro.bench import run_contention
 from repro.schedulers import SCHEDULERS
-from repro.sim import execute, execute_contended
+from repro.sim import execute_contended
 
 
 @pytest.mark.parametrize("bandwidth", [0.5, 2.0])

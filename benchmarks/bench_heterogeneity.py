@@ -10,7 +10,7 @@ import pytest
 
 from repro.bench import run_heterogeneity
 from repro.machine import MachineModel
-from repro.schedulers import SCHEDULERS, heft
+from repro.schedulers import heft
 
 
 @pytest.mark.parametrize("skew", [1.0, 4.0])

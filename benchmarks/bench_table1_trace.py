@@ -6,7 +6,6 @@ row for row (the exhaustive per-cell checks live in
 ``tests/test_flb_trace.py``).
 """
 
-import pytest
 
 from repro.bench import run_table1
 from repro.core import TraceRecorder, flb

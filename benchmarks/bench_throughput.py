@@ -16,7 +16,6 @@ import pytest
 
 from repro.bench.perfgate import measure_throughput, seed_flb
 from repro.core import flb
-from repro.metrics import time_scheduler
 
 FIG2_PROBLEMS = ("lu", "laplace", "stencil")
 FIG2_PROCS = (2, 8, 32)

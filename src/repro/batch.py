@@ -1,14 +1,32 @@
 """Parallel batch scheduling: fan many (graph, procs, algo) jobs across
-worker processes.
+supervised worker processes.
 
 The north-star for this reproduction is serving scheduling requests at
 scale: one request is a task graph plus a machine size plus an algorithm
 choice, and the answer is a schedule summary.  :func:`schedule_many` is that
-front-end — it fans a list of :class:`BatchJob` across a
-``ProcessPoolExecutor`` (scheduling is pure CPU-bound Python, so processes,
-not threads), with per-job wall-clock timeouts and per-job error capture:
-one malformed graph or crashed worker produces a :class:`BatchResult` with
-``error`` set instead of poisoning the whole batch.
+front-end — it fans a list of :class:`BatchJob` across supervised worker
+processes (:mod:`repro.workerpool`; scheduling is pure CPU-bound Python, so
+processes, not threads) with per-job error capture: one malformed graph or
+crashed worker produces a :class:`BatchResult` with ``error`` set instead of
+poisoning the whole batch.
+
+The failure contract is the point (and what a plain
+``ProcessPoolExecutor`` cannot deliver):
+
+* **deadlines hold** — a job that exceeds ``timeout`` has its worker killed
+  and its slot replaced, so a scheduler hung in an infinite loop delays the
+  batch by at most ``timeout + grace``, never forever;
+* **timeouts measure execution, not queueing** — the budget clock starts
+  when the worker begins the job, so jobs queued behind a slow one are
+  never falsely expired; :attr:`BatchResult.queue_seconds` and
+  :attr:`BatchResult.seconds` report the two phases separately;
+* **worker deaths are retried** — a job whose worker is OOM-killed or
+  segfaults is re-run up to ``retries`` times with exponential backoff
+  before being reported as ``worker-died``;
+* **failures are typed** — :attr:`BatchResult.error_kind` is one of
+  :data:`ERROR_KINDS` (``timeout`` / ``worker-died`` / ``scheduler-error``
+  / ``invalid-schedule``), so callers branch on the kind instead of
+  parsing tracebacks.
 
 Results deliberately carry scalar summaries (makespan, speedup, processors
 used, timing) rather than full :class:`~repro.schedule.Schedule` objects:
@@ -26,14 +44,31 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence
 
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.model import MachineModel
+from repro import workerpool
 
-__all__ = ["BatchJob", "BatchResult", "schedule_many", "batch_throughput"]
+__all__ = [
+    "BatchJob",
+    "BatchResult",
+    "schedule_many",
+    "batch_throughput",
+    "ERROR_KINDS",
+    "TIMEOUT",
+    "WORKER_DIED",
+    "SCHEDULER_ERROR",
+    "INVALID_SCHEDULE",
+]
+
+# The batch error taxonomy (BatchResult.error_kind for failed jobs):
+TIMEOUT = "timeout"                    # exceeded the per-job execution budget
+WORKER_DIED = "worker-died"            # worker killed/crashed; retries exhausted
+SCHEDULER_ERROR = "scheduler-error"    # the scheduling algorithm raised
+INVALID_SCHEDULE = "invalid-schedule"  # schedule failed validation / degenerate
+ERROR_KINDS = (TIMEOUT, WORKER_DIED, SCHEDULER_ERROR, INVALID_SCHEDULE)
 
 
 @dataclass(frozen=True)
@@ -54,7 +89,14 @@ class BatchJob:
 
 @dataclass(frozen=True)
 class BatchResult:
-    """Outcome of one :class:`BatchJob`; ``error`` is ``None`` on success."""
+    """Outcome of one :class:`BatchJob`; ``error`` is ``None`` on success.
+
+    ``seconds`` is execution time only; ``queue_seconds`` is the wait
+    between submission and execution start (always 0 when running inline).
+    ``error_kind`` is one of :data:`ERROR_KINDS` whenever ``error`` is set.
+    ``attempts`` counts runs including the final one (> 1 only after
+    worker-death retries).
+    """
 
     tag: str
     algo: str
@@ -65,10 +107,37 @@ class BatchResult:
     procs_used: int
     seconds: float
     error: Optional[str] = None
+    error_kind: Optional[str] = None
+    queue_seconds: float = 0.0
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+def _failed_result(
+    job: BatchJob,
+    seconds: float,
+    error: str,
+    error_kind: str,
+    queue_seconds: float = 0.0,
+    attempts: int = 1,
+) -> BatchResult:
+    return BatchResult(
+        tag=job.tag,
+        algo=job.algo,
+        procs=job.procs,
+        num_tasks=job.graph.num_tasks if job.graph is not None else 0,
+        makespan=float("nan"),
+        speedup=float("nan"),
+        procs_used=0,
+        seconds=seconds,
+        error=error,
+        error_kind=error_kind,
+        queue_seconds=queue_seconds,
+        attempts=attempts,
+    )
 
 
 def _run_job(job: BatchJob, validate: bool) -> BatchResult:
@@ -76,6 +145,8 @@ def _run_job(job: BatchJob, validate: bool) -> BatchResult:
 
     Top-level so worker processes can import it; exceptions are rendered to
     strings here because traceback objects do not cross process boundaries.
+    A raising scheduler is a ``scheduler-error``; a schedule that fails
+    validation (or is too degenerate to summarize) is ``invalid-schedule``.
     """
     from repro.metrics.metrics import speedup as speedup_of
     from repro.schedulers import get_scheduler
@@ -85,6 +156,12 @@ def _run_job(job: BatchJob, validate: bool) -> BatchResult:
         scheduler = get_scheduler(job.algo)
         schedule = scheduler(job.graph, job.procs if job.machine is None else None,
                              machine=job.machine)
+    except Exception:
+        return _failed_result(
+            job, time.perf_counter() - t0, traceback.format_exc(limit=8),
+            SCHEDULER_ERROR,
+        )
+    try:
         if validate:
             schedule.validate()
         return BatchResult(
@@ -99,31 +176,16 @@ def _run_job(job: BatchJob, validate: bool) -> BatchResult:
             error=None,
         )
     except Exception:
-        return BatchResult(
-            tag=job.tag,
-            algo=job.algo,
-            procs=job.procs,
-            num_tasks=job.graph.num_tasks if job.graph is not None else 0,
-            makespan=float("nan"),
-            speedup=float("nan"),
-            procs_used=0,
-            seconds=time.perf_counter() - t0,
-            error=traceback.format_exc(limit=8),
+        return _failed_result(
+            job, time.perf_counter() - t0, traceback.format_exc(limit=8),
+            INVALID_SCHEDULE,
         )
 
 
-def _timeout_result(job: BatchJob, seconds: float, timeout: float) -> BatchResult:
-    return BatchResult(
-        tag=job.tag,
-        algo=job.algo,
-        procs=job.procs,
-        num_tasks=job.graph.num_tasks,
-        makespan=float("nan"),
-        speedup=float("nan"),
-        procs_used=0,
-        seconds=seconds,
-        error=f"timeout: job exceeded {timeout:g}s",
-    )
+def _run_packed(packed) -> BatchResult:
+    """Module-level runner for the worker pool (must be picklable)."""
+    job, validate = packed
+    return _run_job(job, validate)
 
 
 def schedule_many(
@@ -131,6 +193,10 @@ def schedule_many(
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
     validate: bool = False,
+    *,
+    grace: float = 1.0,
+    retries: int = 2,
+    backoff: float = 0.1,
 ) -> List[BatchResult]:
     """Schedule every job, in parallel when ``workers > 1``.
 
@@ -142,68 +208,92 @@ def schedule_many(
         Worker process count; ``None`` means ``os.cpu_count()``.  With one
         worker (or one job) everything runs inline in this process.
     timeout:
-        Per-job wall-clock budget in seconds.  A job that exceeds it gets a
-        ``timeout`` :class:`BatchResult`; jobs not yet started are cancelled
-        and re-run inline (so the returned list is always complete) — only
-        the overrunning job is lost.  Ignored when running inline.
+        Per-job execution budget in seconds, measured from the moment a
+        worker starts the job (queue wait never counts).  An overrunning
+        job's worker is **killed** and the pool slot replaced, so a hung
+        scheduler delays the batch by at most ``timeout + grace``; the job
+        gets a ``timeout`` :class:`BatchResult` and every other job still
+        completes.  Ignored when running inline (a hung job would hang the
+        caller's own process either way — use ``workers >= 2`` for
+        containment).
     validate:
         Re-check every produced schedule from first principles
-        (:meth:`~repro.schedule.Schedule.validate`) inside the worker.
+        (:meth:`~repro.schedule.Schedule.validate`) inside the worker; a
+        violation is reported as ``invalid-schedule``.
+    grace:
+        Slack for detecting and killing an overrunning worker past
+        ``timeout``, and the force-kill budget at shutdown.
+    retries:
+        How many times a job whose worker *died* (OOM-kill, segfault) is
+        re-run before reporting ``worker-died``; timeouts are never retried
+        (schedulers are deterministic — an overrun would simply repeat).
+    backoff:
+        Base delay in seconds before a death retry; doubles per attempt.
 
     Returns
     -------
     list[BatchResult]
-        One result per job, ``error`` set for failures — never raises for a
-        job-level problem.
+        One result per job, ``error``/``error_kind`` set for failures —
+        never raises for a job-level problem.
     """
     jobs = list(jobs)
     if workers is None:
         workers = os.cpu_count() or 1
     if workers <= 1 or len(jobs) <= 1:
+        # Parameter validation still applies on the inline path so callers
+        # get consistent errors regardless of batch size.
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if grace <= 0:
+            raise ValueError(f"grace must be positive, got {grace}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
         return [_run_job(job, validate) for job in jobs]
 
-    results: List[Optional[BatchResult]] = [None] * len(jobs)
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        future_index = {}
-        started = {}
-        for i, job in enumerate(jobs):
-            fut = pool.submit(_run_job, job, validate)
-            future_index[fut] = i
-            started[fut] = time.perf_counter()
-        pending = set(future_index)
-        while pending:
-            done, pending = wait(
-                pending, timeout=timeout, return_when=FIRST_COMPLETED
-            )
-            now = time.perf_counter()
-            for fut in done:
-                i = future_index[fut]
-                try:
-                    results[i] = fut.result()
-                except Exception:  # worker process died (e.g. OOM-kill)
-                    results[i] = replace(
-                        _run_job_error_stub(jobs[i]),
-                        error=traceback.format_exc(limit=4),
-                    )
-            if timeout is not None:
-                expired = [f for f in pending if now - started[f] > timeout]
-                for fut in expired:
-                    i = future_index[fut]
-                    if fut.cancel():
-                        # Never started: run it inline so the batch stays
-                        # complete; the pool was merely saturated.
-                        results[i] = _run_job(jobs[i], validate)
-                    else:
-                        results[i] = _timeout_result(
-                            jobs[i], now - started[fut], timeout
-                        )
-                    pending.discard(fut)
-        pool.shutdown(wait=False, cancel_futures=True)
-    return [r for r in results if r is not None]
-
-
-def _run_job_error_stub(job: BatchJob) -> BatchResult:
-    return _timeout_result(job, 0.0, 0.0)
+    outcomes = workerpool.run_supervised(
+        [(job, validate) for job in jobs],
+        _run_packed,
+        workers=min(workers, len(jobs)),
+        timeout=timeout,
+        grace=grace,
+        retries=retries,
+        backoff=backoff,
+    )
+    results: List[BatchResult] = []
+    for job, outcome in zip(jobs, outcomes):
+        if outcome.kind == workerpool.COMPLETED:
+            results.append(replace(
+                outcome.value,
+                queue_seconds=outcome.queue_seconds,
+                attempts=outcome.attempts,
+            ))
+        elif outcome.kind == workerpool.TIMEOUT:
+            results.append(_failed_result(
+                job, outcome.seconds,
+                f"timeout: job exceeded its {timeout:g}s budget "
+                f"({outcome.error})",
+                TIMEOUT,
+                queue_seconds=outcome.queue_seconds,
+                attempts=outcome.attempts,
+            ))
+        elif outcome.kind == workerpool.DIED:
+            results.append(_failed_result(
+                job, outcome.seconds,
+                f"worker-died: {outcome.error}",
+                WORKER_DIED,
+                queue_seconds=outcome.queue_seconds,
+                attempts=outcome.attempts,
+            ))
+        else:  # RAISED: _run_job catches everything, so this is exotic
+            results.append(_failed_result(
+                job, outcome.seconds, outcome.error or "worker raised",
+                SCHEDULER_ERROR,
+                queue_seconds=outcome.queue_seconds,
+                attempts=outcome.attempts,
+            ))
+    return results
 
 
 def batch_throughput(results: Sequence[BatchResult], wall_seconds: float) -> float:

@@ -29,11 +29,11 @@ crossovers).  See EXPERIMENTS.md for recorded paper-vs-measured outcomes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.bench.runner import RunRecord, group_mean, run_sweep
+from repro.bench.runner import group_mean, run_sweep
 from repro.bench.suite import PAPER_CCRS, PAPER_PROBLEMS, PAPER_PROCS, paper_suite
 from repro.core import TraceRecorder, flb, format_trace
 from repro.metrics.metrics import time_scheduler

@@ -32,7 +32,6 @@ from typing import Dict, Optional, Sequence
 
 from repro.bench.suite import paper_suite
 from repro.core.flb import flb
-from repro.machine.model import MachineModel
 
 __all__ = [
     "DEFAULT_BASELINE_PATH",

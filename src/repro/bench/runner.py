@@ -40,15 +40,19 @@ def run_sweep(
     time_repeats: int = 3,
     validate: bool = False,
     workers: int = 1,
+    timeout: Optional[float] = None,
 ) -> List[RunRecord]:
     """Run every algorithm on every instance at every processor count.
 
     With ``workers > 1`` the (instance, algorithm, P) jobs fan out across
-    worker processes via :func:`repro.batch.schedule_many` — except when
-    ``measure_time`` is set: timing must stay serial in this process, or
-    the measurements would contend for cores and each other's caches.
-    A job failure (any ``BatchResult.error``) raises, matching the serial
-    path where scheduler exceptions propagate.
+    supervised worker processes via :func:`repro.batch.schedule_many` —
+    except when ``measure_time`` is set: timing must stay serial in this
+    process, or the measurements would contend for cores and each other's
+    caches.  ``timeout`` is a per-job execution budget (seconds, measured
+    from execution start); a hung scheduler is killed rather than stalling
+    the sweep.  A job failure (any ``BatchResult.error``) raises with the
+    failure's ``error_kind``, matching the serial path where scheduler
+    exceptions propagate.  ``timeout`` is ignored on the serial path.
     """
     unknown = [a for a in algorithms if a not in SCHEDULERS]
     if unknown:
@@ -68,13 +72,15 @@ def run_sweep(
                                  tag=inst.problem)
                     )
                     meta.append(inst)
-        results = schedule_many(jobs, workers=workers, validate=validate)
+        results = schedule_many(
+            jobs, workers=workers, timeout=timeout, validate=validate
+        )
         records = []
-        for job, inst, res in zip(jobs, meta, results):
+        for inst, res in zip(meta, results):
             if not res.ok:
                 raise RuntimeError(
-                    f"{res.algo} on {inst.problem} (P={res.procs}) failed:\n"
-                    f"{res.error}"
+                    f"{res.algo} on {inst.problem} (P={res.procs}) failed "
+                    f"({res.error_kind}):\n{res.error}"
                 )
             records.append(
                 RunRecord(

@@ -16,7 +16,7 @@ for the paper-sized runs recorded in EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.graph.taskgraph import TaskGraph
 from repro.util.rng import spawn_rngs

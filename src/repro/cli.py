@@ -39,7 +39,6 @@ from repro.bench import (
     run_scaling,
     run_table1,
 )
-from repro.bench.suite import paper_suite
 from repro.core import TraceRecorder, flb, format_trace
 from repro.graph import load_json, save_json, width
 from repro.metrics import summarize, time_scheduler
@@ -107,7 +106,7 @@ def _build_problem(problem: str, tasks: int, ccr: float, seed: int):
     raise SystemExit(f"unknown problem {problem!r}")
 
 
-def _resolve_graph(args) -> "TaskGraph":
+def _resolve_graph(args):
     if getattr(args, "graph", None):
         return load_json(args.graph)
     return _build_problem(args.problem, args.tasks, args.ccr, args.seed)
@@ -190,7 +189,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--workers", type=int, default=None,
                          help="worker processes (default: cpu count)")
     p_batch.add_argument("--timeout", type=float, default=None,
-                         help="per-job wall-clock budget in seconds")
+                         help="per-job execution budget in seconds, measured "
+                         "from execution start (queue wait never counts); "
+                         "an overrunning worker is killed and replaced")
+    p_batch.add_argument("--grace", type=float, default=1.0,
+                         help="slack for detecting/killing an overrunning "
+                         "worker past --timeout (default: 1.0)")
+    p_batch.add_argument("--retries", type=int, default=2,
+                         help="re-runs allowed after a worker death "
+                         "(OOM-kill, segfault) before reporting worker-died "
+                         "(default: 2); timeouts are never retried")
+    p_batch.add_argument("--backoff", type=float, default=0.1,
+                         help="base delay before a death retry in seconds; "
+                         "doubles per attempt (default: 0.1)")
     p_batch.add_argument("--validate", action="store_true",
                          help="re-check every schedule from first principles")
 
@@ -336,9 +347,18 @@ def _cmd_execute(args) -> int:
 
 
 def _cmd_batch(args) -> int:
+    """Exit codes: 0 = every job ok; 1 = at least one job failed
+    (scheduler-error / invalid-schedule); 2 = at least one infrastructure
+    failure (timeout / worker-died), which takes precedence over 1."""
     import time as _time
 
-    from repro.batch import BatchJob, batch_throughput, schedule_many
+    from repro.batch import (
+        TIMEOUT,
+        WORKER_DIED,
+        BatchJob,
+        batch_throughput,
+        schedule_many,
+    )
 
     jobs = []
     for problem in args.problems:
@@ -352,25 +372,36 @@ def _cmd_batch(args) -> int:
                     )
     t0 = _time.perf_counter()
     results = schedule_many(
-        jobs, workers=args.workers, timeout=args.timeout, validate=args.validate
+        jobs, workers=args.workers, timeout=args.timeout,
+        validate=args.validate, grace=args.grace, retries=args.retries,
+        backoff=args.backoff,
     )
     wall = _time.perf_counter() - t0
     rows = []
     failures = 0
+    infrastructure = 0
     for res in results:
         if res.ok:
             rows.append([res.tag, res.algo, res.procs, res.num_tasks,
-                         res.makespan, res.speedup, res.seconds * 1e3])
+                         res.makespan, res.speedup, res.seconds * 1e3,
+                         res.queue_seconds * 1e3])
         else:
             failures += 1
+            if res.error_kind in (TIMEOUT, WORKER_DIED):
+                infrastructure += 1
             first_line = res.error.strip().splitlines()[-1]
             rows.append([res.tag, res.algo, res.procs, res.num_tasks,
-                         float("nan"), float("nan"), res.seconds * 1e3])
-            print(f"FAILED {res.tag} {res.algo} P={res.procs}: {first_line}",
-                  file=sys.stderr)
+                         float("nan"), float("nan"), res.seconds * 1e3,
+                         res.queue_seconds * 1e3])
+            print(
+                f"FAILED {res.tag} {res.algo} P={res.procs} "
+                f"[{res.error_kind}] (attempt {res.attempts}): {first_line}",
+                file=sys.stderr,
+            )
     print(
         format_table(
-            ["job", "algorithm", "P", "V", "makespan", "speedup", "time [ms]"],
+            ["job", "algorithm", "P", "V", "makespan", "speedup",
+             "time [ms]", "wait [ms]"],
             rows,
             title=f"batch: {len(jobs)} jobs, workers={args.workers or 'auto'}",
         )
@@ -379,6 +410,8 @@ def _cmd_batch(args) -> int:
         f"\n{len(results) - failures}/{len(jobs)} ok in {wall:.3f}s "
         f"({batch_throughput(results, wall):,.0f} tasks/s)"
     )
+    if infrastructure:
+        return 2
     return 1 if failures else 0
 
 

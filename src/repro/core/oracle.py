@@ -23,8 +23,6 @@ from __future__ import annotations
 from typing import Iterable, List, Tuple
 
 from repro.core.flb import FlbIteration
-from repro.graph.taskgraph import TaskGraph
-from repro.machine.model import MachineModel
 from repro.schedule.schedule import Schedule
 
 __all__ = ["brute_force_min_est", "est_of", "OracleObserver", "OracleViolation"]

@@ -16,7 +16,7 @@ captures exactly that data;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.graph.properties import bottom_levels

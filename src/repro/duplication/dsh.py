@@ -34,7 +34,7 @@ from repro.graph.properties import bottom_levels
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.model import MachineModel
 from repro.schedulers.base import resolve_machine
-from repro.duplication.schedule import DuplicationSchedule, TaskCopy
+from repro.duplication.schedule import DuplicationSchedule
 
 __all__ = ["dsh"]
 

@@ -20,7 +20,7 @@ occupies processors): ``makespan = max_p PRT(p)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.exceptions import ScheduleError
 from repro.graph.taskgraph import TaskGraph

@@ -29,7 +29,7 @@ reporting on very large graphs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.graph.taskgraph import TaskGraph
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List
 
 from repro.schedule.schedule import Schedule
 
@@ -31,12 +31,29 @@ __all__ = [
 
 
 def speedup(schedule: Schedule) -> float:
-    """Sequential execution time over parallel schedule length (Fig. 3)."""
-    return schedule.graph.total_comp() / schedule.makespan
+    """Sequential execution time over parallel schedule length (Fig. 3).
+
+    Raises :class:`ValueError` for a degenerate schedule with non-positive
+    makespan (empty graph or all-zero computation costs): speedup is
+    undefined there, and a bare ``ZeroDivisionError`` would not say which
+    schedule was at fault.
+    """
+    span = schedule.makespan
+    if span <= 0:
+        raise ValueError(
+            f"speedup undefined: schedule of {schedule.graph.num_tasks} task(s) "
+            f"on {schedule.num_procs} processor(s) has non-positive makespan "
+            f"{span!r}"
+        )
+    return schedule.graph.total_comp() / span
 
 
 def efficiency(schedule: Schedule) -> float:
-    """Speedup per processor, in ``(0, 1]`` for valid schedules."""
+    """Speedup per processor, in ``(0, 1]`` for valid schedules.
+
+    Like :func:`speedup`, raises :class:`ValueError` on a zero-makespan
+    (degenerate) schedule.
+    """
     return speedup(schedule) / schedule.num_procs
 
 
@@ -52,7 +69,6 @@ def normalized_schedule_length(schedule: Schedule, reference_makespan: float) ->
 
 def utilization(schedule: Schedule) -> List[float]:
     """Per-processor busy fraction of the makespan."""
-    graph = schedule.graph
     span = schedule.makespan
     if span <= 0:
         return [0.0] * schedule.num_procs
@@ -69,10 +85,11 @@ def utilization(schedule: Schedule) -> List[float]:
 def load_imbalance(schedule: Schedule) -> float:
     """Max over mean per-processor busy time (1.0 = perfectly balanced).
 
-    Returns ``inf`` when some processor is completely idle while others work
-    and the mean is zero only for empty graphs (impossible: comp > 0).
+    Returns ``inf`` for a degenerate schedule whose total busy time is zero
+    (nothing placed, or every placed task has zero cost): with no work to
+    balance, imbalance is undefined and reported as infinite rather than
+    masquerading as a perfect ``0.0``.
     """
-    graph = schedule.graph
     busy = [
         sum(
             schedule.finish_of(t) - schedule.start_of(t)
@@ -81,7 +98,9 @@ def load_imbalance(schedule: Schedule) -> float:
         for p in schedule.machine.procs
     ]
     mean = sum(busy) / len(busy)
-    return max(busy) / mean if mean > 0 else 0.0
+    if mean <= 0:
+        return float("inf")
+    return max(busy) / mean
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ critical tasks) or balance-bound (idle tails).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.exceptions import ScheduleError
 from repro.schedule.schedule import Schedule
@@ -100,7 +100,6 @@ def idle_profile(schedule: Schedule) -> IdleProfile:
     """Break each processor's makespan window into busy / waiting segments."""
     if not schedule.complete:
         raise ScheduleError("idle analysis requires a complete schedule")
-    graph = schedule.graph
     makespan = schedule.makespan
     busy: List[float] = []
     internal: List[float] = []

@@ -23,7 +23,7 @@ first principles (used by the test suite on every scheduler output):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.exceptions import InvalidScheduleError, ScheduleError
 from repro.graph.taskgraph import TaskGraph

@@ -9,7 +9,7 @@ times.  Complements the ASCII renderer for reports and documentation.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import List, Union
 from xml.sax.saxutils import escape
 
 from repro.schedule.analysis import slack_times

@@ -79,7 +79,6 @@ def _replay(
     start = [0.0] * n
     finish = [0.0] * n
     done = [False] * n
-    pending_msgs = [0] * n  # messages not yet arrived (cross-proc only counted via events)
     proc_queue = [list(schedule.proc_tasks(p)) for p in machine.procs]
     proc_pos = [0] * machine.num_procs
     proc_free = [True] * machine.num_procs

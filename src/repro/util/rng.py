@@ -23,7 +23,7 @@ so every experiment in the repository is reproducible from its seed.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ means the harness runs in any environment the library runs in.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_series_chart", "format_bar_chart", "format_float"]
 
@@ -165,7 +165,7 @@ def format_bar_chart(
     if not values:
         return title
     vmax = max(values)
-    label_w = max(len(l) for l in labels)
+    label_w = max(len(label) for label in labels)
     lines = [title] if title else []
     for label, value in zip(labels, values):
         n = 0 if vmax <= 0 else round(value / vmax * width)

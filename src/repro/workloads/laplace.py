@@ -41,28 +41,28 @@ def laplace(
     if grid < 1 or iters < 1:
         raise ValueError(f"laplace requires grid >= 1 and iters >= 1, got {grid}, {iters}")
 
-    def tid(l: int, i: int, j: int) -> int:
-        return l * grid * grid + i * grid + j
+    def tid(lvl: int, i: int, j: int) -> int:
+        return lvl * grid * grid + i * grid + j
 
     names: List[str] = [
-        f"jacobi[{l}]({i},{j})"
-        for l in range(iters)
+        f"jacobi[{lvl}]({i},{j})"
+        for lvl in range(iters)
         for i in range(grid)
         for j in range(grid)
     ]
     edges: List[Tuple[int, int]] = []
-    for l in range(1, iters):
+    for lvl in range(1, iters):
         for i in range(grid):
             for j in range(grid):
-                dst = tid(l, i, j)
-                edges.append((tid(l - 1, i, j), dst))
+                dst = tid(lvl, i, j)
+                edges.append((tid(lvl - 1, i, j), dst))
                 if i > 0:
-                    edges.append((tid(l - 1, i - 1, j), dst))
+                    edges.append((tid(lvl - 1, i - 1, j), dst))
                 if i + 1 < grid:
-                    edges.append((tid(l - 1, i + 1, j), dst))
+                    edges.append((tid(lvl - 1, i + 1, j), dst))
                 if j > 0:
-                    edges.append((tid(l - 1, i, j - 1), dst))
+                    edges.append((tid(lvl - 1, i, j - 1), dst))
                 if j + 1 < grid:
-                    edges.append((tid(l - 1, i, j + 1), dst))
+                    edges.append((tid(lvl - 1, i, j + 1), dst))
 
     return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)

@@ -61,19 +61,19 @@ def layered_random(
         raise ValueError(f"edge_density must be in [0, 1], got {edge_density}")
     rng_local = rng if rng is not None else make_rng(0)
 
-    def tid(l: int, i: int) -> int:
-        return l * layer_width + i
+    def tid(lvl: int, i: int) -> int:
+        return lvl * layer_width + i
 
-    names = [f"n[{l}]({i})" for l in range(layers) for i in range(layer_width)]
+    names = [f"n[{lvl}]({i})" for lvl in range(layers) for i in range(layer_width)]
     edges: List[Tuple[int, int]] = []
-    for l in range(1, layers):
+    for lvl in range(1, layers):
         mask = rng_local.random((layer_width, layer_width)) < edge_density
         for i in range(layer_width):
             preds = np.flatnonzero(mask[:, i])
             if preds.size == 0:
                 preds = rng_local.integers(0, layer_width, size=1)
             for p in preds:
-                edges.append((tid(l - 1, int(p)), tid(l, i)))
+                edges.append((tid(lvl - 1, int(p)), tid(lvl, i)))
 
     return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)
 

@@ -40,17 +40,17 @@ def stencil(
     if cells < 1 or steps < 1:
         raise ValueError(f"stencil requires cells >= 1 and steps >= 1, got {cells}, {steps}")
 
-    def tid(l: int, i: int) -> int:
-        return l * cells + i
+    def tid(lvl: int, i: int) -> int:
+        return lvl * cells + i
 
-    names: List[str] = [f"cell[{l}]({i})" for l in range(steps) for i in range(cells)]
+    names: List[str] = [f"cell[{lvl}]({i})" for lvl in range(steps) for i in range(cells)]
     edges: List[Tuple[int, int]] = []
-    for l in range(1, steps):
+    for lvl in range(1, steps):
         for i in range(cells):
-            dst = tid(l, i)
+            dst = tid(lvl, i)
             for di in (-1, 0, 1):
                 j = i + di
                 if 0 <= j < cells:
-                    edges.append((tid(l - 1, j), dst))
+                    edges.append((tid(lvl - 1, j), dst))
 
     return build_weighted_graph(names, edges, rng, ccr, mean_comp, distribution)

@@ -102,6 +102,7 @@ class TestParallel:
         results = schedule_many(jobs, workers=2, timeout=0.3)
         assert not results[0].ok
         assert "timeout" in results[0].error
+        assert results[0].error_kind == "timeout"
         assert results[1].ok and results[2].ok
 
     def test_throughput_helper(self):
@@ -164,6 +165,20 @@ class TestCli:
         captured = capsys.readouterr()
         assert err_code == 1
         assert "FAILED" in captured.err
+        assert "[scheduler-error]" in captured.err
+
+    def test_batch_command_timeout_exit_code(self, capsys, monkeypatch):
+        # Infrastructure failures (timeout / worker-died) exit 2, not 1.
+        monkeypatch.setitem(SCHEDULERS, "sleepy", _sleepy_scheduler)
+        code = main(
+            ["batch", "--problems", "lu", "--procs", "2",
+             "--algos", "sleepy", "flb", "--tasks", "60", "--workers", "2",
+             "--timeout", "0.3", "--grace", "1.0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "[timeout]" in captured.err
+        assert "1/2 ok" in captured.out
 
 
 def test_parallel_graph_roundtrip_is_exact():

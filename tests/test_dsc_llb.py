@@ -3,9 +3,9 @@
 import pytest
 
 from repro.exceptions import SchedulerError
-from repro.graph import TaskGraph, critical_path_length
+from repro.graph import critical_path_length
 from repro.machine import MachineModel
-from repro.schedulers import Clustering, dsc, dsc_llb, llb
+from repro.schedulers import dsc, dsc_llb, llb
 from repro.util.rng import make_rng
 from repro.workloads import (
     chain,

@@ -53,7 +53,7 @@ class TestDls:
     def test_dynamic_level_selection(self):
         # Two ready tasks; DLS must prefer the higher SL - EST combination.
         g = TaskGraph()
-        a = g.add_task(1.0)
+        g.add_task(1.0)  # "a": ready but with the lower dynamic level
         b = g.add_task(1.0)
         c = g.add_task(10.0)
         g.add_edge(b, c, 0.0)

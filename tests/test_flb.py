@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import FlbLists, OracleObserver, flb
 from repro.exceptions import SchedulerError
-from repro.graph import TaskGraph, bottom_levels, critical_path_length
+from repro.graph import TaskGraph
 from repro.machine import MachineModel
 from repro.util.rng import make_rng
 from repro.workloads import (

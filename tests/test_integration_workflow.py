@@ -7,7 +7,7 @@ inter-stage bugs; this file deliberately chains them.
 
 import pytest
 
-from repro import TaskGraph, schedule_graph
+from repro import schedule_graph
 from repro.graph import (
     ccr,
     critical_path_length,

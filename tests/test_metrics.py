@@ -1,8 +1,11 @@
 """Tests for schedule metrics."""
 
+import math
+
 import pytest
 
 from repro.core import flb
+from repro.graph import TaskGraph
 from repro.machine import MachineModel
 from repro.metrics import (
     comm_stats,
@@ -25,6 +28,14 @@ def paper_schedule():
     return flb(paper_example(), 2)
 
 
+def _zero_makespan_schedule(procs=2):
+    """A degenerate schedule: nothing placed yet, so the makespan is 0."""
+    g = TaskGraph()
+    g.add_task(1.0, name="t0")
+    g.freeze()
+    return Schedule(g, MachineModel(procs))
+
+
 class TestSpeedupEfficiency:
     def test_paper_example(self, paper_schedule):
         # Total comp = 19, makespan = 14.
@@ -40,6 +51,15 @@ class TestSpeedupEfficiency:
         s = flb(independent_tasks(8), 4)
         assert speedup(s) == pytest.approx(4.0)
         assert efficiency(s) == pytest.approx(1.0)
+
+    def test_zero_makespan_raises_value_error(self):
+        # A degenerate schedule must raise a ValueError that names the
+        # schedule, not a bare ZeroDivisionError from the division.
+        s = _zero_makespan_schedule()
+        with pytest.raises(ValueError, match="makespan"):
+            speedup(s)
+        with pytest.raises(ValueError, match="makespan"):
+            efficiency(s)
 
 
 class TestNsl:
@@ -75,6 +95,12 @@ class TestUtilization:
         assert load_imbalance(s) == pytest.approx(1.0)
         s2 = flb(two_chains(), 4)
         assert load_imbalance(s2) >= 1.0
+
+    def test_load_imbalance_degenerate_is_inf(self):
+        # Zero total busy time: imbalance is undefined, reported as inf
+        # (the docstring always promised this; the code used to return 0.0,
+        # which reads as "perfectly balanced").
+        assert math.isinf(load_imbalance(_zero_makespan_schedule()))
 
 
 class TestCommStats:

@@ -1,7 +1,6 @@
 """Executable checks of the paper's stated claims and definitions beyond
 Theorem 3 (which has its own suite in test_flb_oracle.py)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.core import flb
 from repro.exceptions import ScheduleError
-from repro.graph import TaskGraph
 from repro.machine import MachineModel
 from repro.schedule import (
     Schedule,

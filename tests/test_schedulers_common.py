@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro import schedule_graph
 from repro.exceptions import SchedulerError
-from repro.graph import critical_path_length, static_levels
+from repro.graph import static_levels
 from repro.machine import MachineModel
 from repro.schedulers import SCHEDULERS, get_scheduler
 from repro.util.rng import make_rng

@@ -1,6 +1,5 @@
 """Tests for the text table/chart renderers."""
 
-import math
 
 import pytest
 
@@ -69,7 +68,7 @@ class TestSeriesChart:
         assert "o=flb" in text
         assert "x=etf" in text
         assert "o" in text.splitlines()[1:][0] or any(
-            "o" in l for l in text.splitlines()
+            "o" in line for line in text.splitlines()
         )
 
     def test_constant_series_does_not_crash(self):
