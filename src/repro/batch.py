@@ -34,6 +34,17 @@ a schedule is ``O(V)`` to pickle and batches are large; callers that need
 placements re-run the single job in-process — schedulers are deterministic,
 so the re-run reproduces the batch answer exactly.
 
+Graphs themselves do not ride the pipe either, when they can avoid it: the
+**graph plane** (:mod:`repro.graphstore`) registers each distinct graph
+once into POSIX shared memory, keyed by its content fingerprint, and jobs
+carry the small segment key instead of an ``O(V + E)`` pickle.  One-shot
+graphs below :data:`INLINE_ONESHOT_MAX` tasks+edges still travel inline
+(a tiny pickle beats a segment round-trip).  On top of that, an optional
+content-addressed :class:`~repro.resultcache.ResultCache` answers repeated
+``(graph, procs, algo)`` requests in ``O(1)`` without dispatching a worker
+at all — schedulers are deterministic, so cache hits are exact.
+:class:`BatchScheduler` bundles both into a long-lived serving front-end.
+
 ``repro-sched batch`` exposes this on the command line, and
 :func:`repro.bench.runner.run_sweep` uses it to parallelize the quality
 figures (Figs. 3/4) when asked for ``workers > 1``.
@@ -45,23 +56,33 @@ import os
 import time
 import traceback
 from dataclasses import dataclass, replace
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.model import MachineModel
-from repro import workerpool
+from repro.resultcache import DEFAULT_CACHE_SIZE, ResultCache
+from repro import graphstore, workerpool
 
 __all__ = [
     "BatchJob",
     "BatchResult",
+    "BatchScheduler",
     "schedule_many",
     "batch_throughput",
+    "batch_stats",
     "ERROR_KINDS",
     "TIMEOUT",
     "WORKER_DIED",
     "SCHEDULER_ERROR",
     "INVALID_SCHEDULE",
+    "INLINE_ONESHOT_MAX",
 ]
+
+#: One-shot graphs with fewer than this many tasks+edges are pickled inline
+#: instead of going through shared memory: for tiny graphs the pickle is a
+#: few KiB and a segment create/attach round-trip costs more than it saves.
+#: Any graph referenced by two or more jobs in a batch is always shared.
+INLINE_ONESHOT_MAX = 512
 
 # The batch error taxonomy (BatchResult.error_kind for failed jobs):
 TIMEOUT = "timeout"                    # exceeded the per-job execution budget
@@ -78,13 +99,21 @@ class BatchJob:
     ``tag`` is an opaque caller identifier echoed into the result (problem
     name, request id, ...).  ``machine`` overrides the default homogeneous
     clique of ``procs`` processors.
+
+    ``graph_key`` is the graph-plane alternative to ``graph``: the name of
+    a shared-memory segment registered via :class:`repro.graphstore.GraphStore`
+    (typically :meth:`BatchScheduler.register`).  Submit either a ``graph``
+    (the dispatcher decides whether to share it) or ``graph=None`` plus a
+    ``graph_key`` for a pre-registered graph; workers resolve keys through
+    their per-process decoded-graph LRU.
     """
 
-    graph: TaskGraph
+    graph: Optional[TaskGraph]
     procs: int
     algo: str = "flb"
     tag: str = ""
     machine: Optional[MachineModel] = None
+    graph_key: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -95,7 +124,10 @@ class BatchResult:
     between submission and execution start (always 0 when running inline).
     ``error_kind`` is one of :data:`ERROR_KINDS` whenever ``error`` is set.
     ``attempts`` counts runs including the final one (> 1 only after
-    worker-death retries).
+    worker-death retries).  ``cached`` marks a result-cache hit: no worker
+    ran, ``seconds``/``queue_seconds`` are 0, and the summary numbers are
+    bit-identical to the original computation (schedulers are
+    deterministic).
     """
 
     tag: str
@@ -110,6 +142,7 @@ class BatchResult:
     error_kind: Optional[str] = None
     queue_seconds: float = 0.0
     attempts: int = 1
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -153,6 +186,11 @@ def _run_job(job: BatchJob, validate: bool) -> BatchResult:
 
     t0 = time.perf_counter()
     try:
+        if job.graph is None and job.graph_key is not None:
+            # Graph-plane dispatch: resolve the key through this process's
+            # decoded-graph LRU (decodes from shared memory at most once
+            # per worker per graph).
+            job = replace(job, graph=graphstore.attach(job.graph_key))
         scheduler = get_scheduler(job.algo)
         schedule = scheduler(job.graph, job.procs if job.machine is None else None,
                              machine=job.machine)
@@ -188,6 +226,34 @@ def _run_packed(packed) -> BatchResult:
     return _run_job(job, validate)
 
 
+def _cache_key(
+    job: BatchJob,
+    validate: bool,
+    fingerprints: Dict[int, str],
+    store: Optional["graphstore.GraphStore"],
+):
+    """Result-cache key for a job, or ``None`` when the job is uncacheable.
+
+    Jobs with a custom machine have no content fingerprint for the machine
+    and bypass the cache.  ``fingerprints`` memoises per graph object so a
+    batch of N jobs over one graph hashes it once.
+    """
+    if job.machine is not None:
+        return None
+    if job.graph is not None:
+        fp = fingerprints.get(id(job.graph))
+        if fp is None:
+            fp = job.graph.fingerprint()
+            fingerprints[id(job.graph)] = fp
+    elif job.graph_key is not None and store is not None:
+        fp = store.fingerprint_of(job.graph_key)
+        if fp is None:
+            return None
+    else:
+        return None
+    return (fp, job.procs, job.algo, validate)
+
+
 def schedule_many(
     jobs: Iterable[BatchJob],
     workers: Optional[int] = None,
@@ -197,6 +263,10 @@ def schedule_many(
     grace: float = 1.0,
     retries: int = 2,
     backoff: float = 0.1,
+    share_graphs: Optional[bool] = None,
+    cache: Optional[ResultCache] = None,
+    store: Optional["graphstore.GraphStore"] = None,
+    stats_out: Optional[Dict[str, int]] = None,
 ) -> List[BatchResult]:
     """Schedule every job, in parallel when ``workers > 1``.
 
@@ -229,6 +299,31 @@ def schedule_many(
         (schedulers are deterministic — an overrun would simply repeat).
     backoff:
         Base delay in seconds before a death retry; doubles per attempt.
+    share_graphs:
+        Graph-plane dispatch policy for the parallel path.  ``None``
+        (default) shares a graph through shared memory when it is
+        referenced by two or more dispatched jobs or is at least
+        :data:`INLINE_ONESHOT_MAX` tasks+edges; small one-shot graphs stay
+        inline-pickled.  ``True`` shares every graph, ``False`` none
+        (always inline pickle — the pre-graph-plane behaviour).
+    cache:
+        A :class:`~repro.resultcache.ResultCache`.  Jobs whose
+        ``(fingerprint, procs, algo, validate)`` key hits return
+        immediately with ``cached=True`` and are never dispatched;
+        successful new results are inserted afterwards.  Applies on both
+        the inline and the parallel path.
+    store:
+        A caller-owned :class:`~repro.graphstore.GraphStore` whose
+        registered segments outlive this call (used by
+        :class:`BatchScheduler` to amortise registration across batches,
+        and required to resolve ``BatchJob.graph_key``-only jobs' cache
+        keys).  When ``None``, an ephemeral store is created and every
+        segment is unlinked before returning — including when a worker was
+        SIGKILL-ed on timeout or the batch raised.
+    stats_out:
+        Optional dict filled with dispatch accounting: ``jobs``,
+        ``cache_hits``, ``dispatched``, ``keyed_jobs``,
+        ``inline_graph_jobs``, ``shared_graphs``, ``shared_bytes``.
 
     Returns
     -------
@@ -239,28 +334,171 @@ def schedule_many(
     jobs = list(jobs)
     if workers is None:
         workers = os.cpu_count() or 1
-    if workers <= 1 or len(jobs) <= 1:
-        # Parameter validation still applies on the inline path so callers
-        # get consistent errors regardless of batch size.
-        if timeout is not None and timeout <= 0:
-            raise ValueError(f"timeout must be positive, got {timeout}")
-        if grace <= 0:
-            raise ValueError(f"grace must be positive, got {grace}")
-        if retries < 0:
-            raise ValueError(f"retries must be >= 0, got {retries}")
-        if backoff < 0:
-            raise ValueError(f"backoff must be >= 0, got {backoff}")
-        return [_run_job(job, validate) for job in jobs]
+    # Parameter validation applies on every path so callers get consistent
+    # errors regardless of batch size.
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    if grace <= 0:
+        raise ValueError(f"grace must be positive, got {grace}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
 
-    outcomes = workerpool.run_supervised(
-        [(job, validate) for job in jobs],
-        _run_packed,
-        workers=min(workers, len(jobs)),
-        timeout=timeout,
-        grace=grace,
-        retries=retries,
-        backoff=backoff,
-    )
+    results: List[Optional[BatchResult]] = [None] * len(jobs)
+    fingerprints: Dict[int, str] = {}
+    keys: List[Optional[tuple]] = [None] * len(jobs)
+    use_cache = cache is not None and cache.enabled
+
+    # Result-cache pass (exact hits answer without dispatching anything),
+    # then within-batch coalescing: duplicate (graph, procs, algo, validate)
+    # jobs are dispatched once — schedulers are deterministic, so the
+    # duplicates share the one outcome verbatim.  Coalescing is part of the
+    # caching plane (it closes the window where within-batch duplicates all
+    # miss an empty cache), so it only applies when a cache is in play;
+    # without one, every job dispatches individually as before, keeping
+    # per-job timing/queue accounting intact.
+    dispatch: List[int] = []
+    coalesced: Dict[tuple, List[int]] = {}
+    for i, job in enumerate(jobs):
+        keys[i] = _cache_key(job, validate, fingerprints, store)
+        if use_cache:
+            hit = cache.get(keys[i])
+            if hit is not None:
+                results[i] = replace(
+                    hit, tag=job.tag, seconds=0.0, queue_seconds=0.0,
+                    attempts=1, cached=True,
+                )
+                continue
+            if keys[i] is not None:
+                group = coalesced.get(keys[i])
+                if group is not None:
+                    group.append(i)
+                    continue
+                coalesced[keys[i]] = [i]
+        dispatch.append(i)
+
+    n_hits = len(jobs) - len(dispatch) - sum(len(g) - 1 for g in coalesced.values())
+    stats = {
+        "jobs": len(jobs),
+        "cache_hits": n_hits,
+        "coalesced": sum(len(g) - 1 for g in coalesced.values()),
+        "dispatched": len(dispatch),
+        "keyed_jobs": 0,
+        "inline_graph_jobs": 0,
+        "shared_graphs": 0,
+        "shared_bytes": 0,
+    }
+
+    if dispatch and (workers <= 1 or len(dispatch) <= 1):
+        for i in dispatch:
+            results[i] = _run_job(jobs[i], validate)
+        stats["inline_graph_jobs"] = len(dispatch)
+    elif dispatch:
+        outcomes = _dispatch_pool(
+            [jobs[i] for i in dispatch], workers, timeout, validate,
+            grace=grace, retries=retries, backoff=backoff,
+            share_graphs=share_graphs, store=store,
+            fingerprints=fingerprints, stats=stats,
+        )
+        for i, res in zip(dispatch, outcomes):
+            results[i] = res
+
+    # Fan each coalesced outcome out to its duplicates.  Failures propagate
+    # too: every kind is deterministic given the same budget (worker deaths
+    # were already retried inside the pool).
+    for key, group in coalesced.items():
+        canonical = results[group[0]]
+        for i in group[1:]:
+            if canonical.ok:
+                results[i] = replace(
+                    canonical, tag=jobs[i].tag, seconds=0.0,
+                    queue_seconds=0.0, attempts=1, cached=True,
+                )
+            else:
+                results[i] = replace(canonical, tag=jobs[i].tag)
+
+    if use_cache:
+        for i in dispatch:
+            res = results[i]
+            if res is not None and res.ok:
+                cache.put(keys[i], res)
+
+    if stats_out is not None:
+        stats_out.update(stats)
+    return [res for res in results if res is not None]
+
+
+def _dispatch_pool(
+    jobs: List[BatchJob],
+    workers: int,
+    timeout: Optional[float],
+    validate: bool,
+    *,
+    grace: float,
+    retries: int,
+    backoff: float,
+    share_graphs: Optional[bool],
+    store: Optional["graphstore.GraphStore"],
+    fingerprints: Dict[int, str],
+    stats: Dict[str, int],
+) -> List[BatchResult]:
+    """Fan ``jobs`` across the supervised pool, sharing graphs through the
+    graph plane where the policy says so.  Owns (and always unlinks) the
+    ephemeral store when the caller did not provide one."""
+    owned_store = store is None
+    wire: List[BatchJob] = list(jobs)
+    try:
+        if share_graphs is not False:
+            # Count how many dispatched jobs reference each graph content.
+            counts: Dict[str, int] = {}
+            for job in jobs:
+                if job.graph is None:
+                    continue
+                fp = fingerprints.get(id(job.graph))
+                if fp is None:
+                    fp = job.graph.fingerprint()
+                    fingerprints[id(job.graph)] = fp
+                counts[fp] = counts.get(fp, 0) + 1
+            for n, job in enumerate(jobs):
+                if job.graph is None:
+                    continue
+                fp = fingerprints[id(job.graph)]
+                size = job.graph.num_tasks + job.graph.num_edges
+                if not (share_graphs is True or counts[fp] >= 2
+                        or size >= INLINE_ONESHOT_MAX):
+                    continue
+                if store is None:
+                    store = graphstore.GraphStore()
+                try:
+                    key = store.register(job.graph.freeze(), fingerprint=fp)
+                except Exception:
+                    # Unfreezable (e.g. cyclic) or unregistrable graph:
+                    # fall back to inline pickling so the failure surfaces
+                    # as that job's error, exactly as before.
+                    continue
+                wire[n] = replace(job, graph=None, graph_key=key)
+        stats["keyed_jobs"] = sum(1 for j in wire if j.graph is None and j.graph_key)
+        stats["inline_graph_jobs"] = len(wire) - stats["keyed_jobs"]
+        if store is not None:
+            stats["shared_graphs"] = len(store)
+            stats["shared_bytes"] = store.total_bytes()
+
+        outcomes = workerpool.run_supervised(
+            [(job, validate) for job in wire],
+            _run_packed,
+            workers=min(workers, len(wire)),
+            timeout=timeout,
+            grace=grace,
+            retries=retries,
+            backoff=backoff,
+        )
+    finally:
+        # Ephemeral registry: guaranteed unlink, even when a worker was
+        # SIGKILL-ed on timeout or run_supervised raised.
+        if owned_store and store is not None:
+            store.close()
+
     results: List[BatchResult] = []
     for job, outcome in zip(jobs, outcomes):
         if outcome.kind == workerpool.COMPLETED:
@@ -302,3 +540,147 @@ def batch_throughput(results: Sequence[BatchResult], wall_seconds: float) -> flo
     if wall_seconds <= 0:
         raise ValueError(f"wall_seconds must be positive, got {wall_seconds}")
     return sum(r.num_tasks for r in results if r.ok) / wall_seconds
+
+
+def batch_stats(
+    results: Sequence[BatchResult],
+    wall_seconds: float,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, float]:
+    """Throughput plus serving counters for one batch.
+
+    Extends :func:`batch_throughput` with job counts, jobs/s, the number of
+    results answered from the cache (``cached``), and — when a
+    :class:`~repro.resultcache.ResultCache` is supplied — its cumulative
+    hit/miss/eviction counters (prefixed ``cache_``).
+    """
+    stats: Dict[str, float] = {
+        "jobs": len(results),
+        "ok": sum(1 for r in results if r.ok),
+        "failed": sum(1 for r in results if not r.ok),
+        "cached": sum(1 for r in results if r.cached),
+        "tasks_per_s": batch_throughput(results, wall_seconds),
+        "jobs_per_s": len(results) / wall_seconds,
+        "wall_seconds": wall_seconds,
+    }
+    if cache is not None:
+        for key, value in cache.stats().items():
+            stats[f"cache_{key}"] = value
+    return stats
+
+
+class BatchScheduler:
+    """Long-lived batch-serving front-end: one graph registry + one result
+    cache, amortised across many :meth:`run` calls.
+
+    :func:`schedule_many` is one-shot — its ephemeral graph store is
+    unlinked when it returns, so the next batch over the same graph
+    registers (and each worker decodes) it again.  A serving loop holds a
+    ``BatchScheduler`` instead::
+
+        with BatchScheduler(workers=8, timeout=5.0) as bs:
+            key = bs.register(graph)            # publish once
+            for request in requests:            # many batches
+                results = bs.run([
+                    BatchJob(graph=None, graph_key=key,
+                             procs=request.procs, algo=request.algo),
+                ])
+
+    Graphs registered (explicitly via :meth:`register` or implicitly by the
+    dispatch policy during :meth:`run`) stay in shared memory until
+    :meth:`close`/``__exit__`` — guaranteed unlink, same as
+    ``schedule_many``.  The result cache persists across batches, so a
+    repeated ``(graph, procs, algo)`` request is answered in ``O(1)``
+    without dispatching a worker.  :meth:`stats` reports cumulative
+    dispatch, cache, and registry counters.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        validate: bool = False,
+        *,
+        grace: float = 1.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+        share_graphs: Optional[bool] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self.workers = workers
+        self.timeout = timeout
+        self.validate = validate
+        self.grace = grace
+        self.retries = retries
+        self.backoff = backoff
+        self.share_graphs = share_graphs
+        self.store = graphstore.GraphStore()
+        self.cache = ResultCache(cache_size)
+        self._dispatch_totals: Dict[str, int] = {}
+        self._results_seen = 0
+        self._failed_seen = 0
+
+    def register(self, graph: TaskGraph) -> str:
+        """Publish a graph into the registry; returns the ``graph_key`` for
+        :class:`BatchJob` submissions.  Idempotent per graph content."""
+        return self.store.register(graph.freeze())
+
+    def run(self, jobs: Iterable[BatchJob]) -> List[BatchResult]:
+        """Schedule one batch through the shared registry and cache."""
+        if self.store.closed:
+            raise graphstore.GraphStoreError("BatchScheduler is closed")
+        per_run: Dict[str, int] = {}
+        results = schedule_many(
+            jobs,
+            workers=self.workers,
+            timeout=self.timeout,
+            validate=self.validate,
+            grace=self.grace,
+            retries=self.retries,
+            backoff=self.backoff,
+            share_graphs=self.share_graphs,
+            cache=self.cache,
+            store=self.store,
+            stats_out=per_run,
+        )
+        for key, value in per_run.items():
+            if key in ("shared_graphs", "shared_bytes"):
+                self._dispatch_totals[key] = value  # registry-wide, not additive
+            else:
+                self._dispatch_totals[key] = self._dispatch_totals.get(key, 0) + value
+        self._results_seen += len(results)
+        self._failed_seen += sum(1 for r in results if not r.ok)
+        return results
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative serving counters: dispatch accounting (``jobs``,
+        ``cache_hits``, ``dispatched``, ``keyed_jobs``, ...), registry size
+        (``store_graphs``, ``store_bytes``) and result-cache counters
+        (``cache_hit``/``cache_miss``/``cache_evictions``/...)."""
+        stats = dict(self._dispatch_totals)
+        stats.setdefault("jobs", 0)
+        stats["results"] = self._results_seen
+        stats["failed"] = self._failed_seen
+        for key, value in self.store.stats().items():
+            stats[f"store_{key}"] = value
+        for key, value in self.cache.stats().items():
+            stats[f"cache_{key}"] = value
+        return stats
+
+    def close(self) -> None:
+        """Unlink every registered shared-memory segment.  Idempotent."""
+        self.store.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.store.closed
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{len(self.store)} graph(s)"
+        return f"<BatchScheduler {state}, cache {len(self.cache)}/{self.cache.capacity}>"

@@ -13,6 +13,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bench.suite import Instance
 from repro.metrics.metrics import speedup, time_scheduler
+from repro.resultcache import ResultCache
 from repro.schedulers import SCHEDULERS
 
 __all__ = ["RunRecord", "run_sweep", "group_mean"]
@@ -41,6 +42,7 @@ def run_sweep(
     validate: bool = False,
     workers: int = 1,
     timeout: Optional[float] = None,
+    result_cache: Optional["ResultCache"] = None,
 ) -> List[RunRecord]:
     """Run every algorithm on every instance at every processor count.
 
@@ -53,6 +55,14 @@ def run_sweep(
     the sweep.  A job failure (any ``BatchResult.error``) raises with the
     failure's ``error_kind``, matching the serial path where scheduler
     exceptions propagate.  ``timeout`` is ignored on the serial path.
+
+    ``result_cache`` (a :class:`repro.resultcache.ResultCache`) is consulted
+    on the parallel path before any job is dispatched: sweeps over
+    overlapping (graph, algorithm, P) grids — re-runs, refinement passes —
+    answer repeated cells in O(1) from the cache, with bit-identical
+    quality numbers (schedulers are deterministic).  Inspect the cache's
+    ``hits``/``misses``/``evictions`` counters (or ``.stats()``) afterwards
+    for the serving accounting.
     """
     unknown = [a for a in algorithms if a not in SCHEDULERS]
     if unknown:
@@ -73,7 +83,8 @@ def run_sweep(
                     )
                     meta.append(inst)
         results = schedule_many(
-            jobs, workers=workers, timeout=timeout, validate=validate
+            jobs, workers=workers, timeout=timeout, validate=validate,
+            cache=result_cache,
         )
         records = []
         for inst, res in zip(meta, results):

@@ -204,6 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
                          "doubles per attempt (default: 0.1)")
     p_batch.add_argument("--validate", action="store_true",
                          help="re-check every schedule from first principles")
+    p_batch.add_argument("--no-share", action="store_true",
+                         help="disable the shared-memory graph plane and "
+                         "pickle every graph inline per job (mainly for "
+                         "comparison; see docs/performance.md)")
+    p_batch.add_argument("--cache-size", type=int, default=1024,
+                         help="result-cache capacity: repeated (graph, P, "
+                         "algo) jobs are answered in O(1) without "
+                         "dispatching a worker (0 disables; default: 1024)")
+    p_batch.add_argument("--stats", action="store_true",
+                         help="print graph-plane and result-cache counters "
+                         "after the batch")
 
     return parser
 
@@ -356,8 +367,8 @@ def _cmd_batch(args) -> int:
         TIMEOUT,
         WORKER_DIED,
         BatchJob,
+        BatchScheduler,
         batch_throughput,
-        schedule_many,
     )
 
     jobs = []
@@ -370,13 +381,16 @@ def _cmd_batch(args) -> int:
                         BatchJob(graph=graph, procs=procs, algo=algo,
                                  tag=f"{problem}/s{seed}")
                     )
-    t0 = _time.perf_counter()
-    results = schedule_many(
-        jobs, workers=args.workers, timeout=args.timeout,
-        validate=args.validate, grace=args.grace, retries=args.retries,
-        backoff=args.backoff,
-    )
-    wall = _time.perf_counter() - t0
+    with BatchScheduler(
+        workers=args.workers, timeout=args.timeout, validate=args.validate,
+        grace=args.grace, retries=args.retries, backoff=args.backoff,
+        share_graphs=False if args.no_share else None,
+        cache_size=max(0, args.cache_size),
+    ) as scheduler:
+        t0 = _time.perf_counter()
+        results = scheduler.run(jobs)
+        wall = _time.perf_counter() - t0
+        stats = scheduler.stats()
     rows = []
     failures = 0
     infrastructure = 0
@@ -410,6 +424,19 @@ def _cmd_batch(args) -> int:
         f"\n{len(results) - failures}/{len(jobs)} ok in {wall:.3f}s "
         f"({batch_throughput(results, wall):,.0f} tasks/s)"
     )
+    if args.stats:
+        print(
+            f"graph plane: {stats.get('shared_graphs', 0)} graph(s) in "
+            f"shared memory ({stats.get('shared_bytes', 0):,} bytes), "
+            f"{stats.get('keyed_jobs', 0)} keyed / "
+            f"{stats.get('inline_graph_jobs', 0)} inline job(s)"
+        )
+        print(
+            f"result cache: {stats.get('cache_hits', 0)} hit(s), "
+            f"{stats.get('cache_misses', 0)} miss(es), "
+            f"{stats.get('cache_evictions', 0)} eviction(s), "
+            f"size {stats.get('cache_size', 0)}/{stats.get('cache_capacity', 0)}"
+        )
     if infrastructure:
         return 2
     return 1 if failures else 0

@@ -17,6 +17,8 @@ optional human-readable name used by traces, Gantt charts, and DOT export.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -75,6 +77,7 @@ class TaskGraph:
         "_entries",
         "_exits",
         "_csr",
+        "_fingerprint",
     )
 
     def __init__(self) -> None:
@@ -88,6 +91,7 @@ class TaskGraph:
         self._entries: Tuple[int, ...] = ()
         self._exits: Tuple[int, ...] = ()
         self._csr: Optional[AdjacencyCSR] = None
+        self._fingerprint: Optional[str] = None
 
     # -- construction -------------------------------------------------------
 
@@ -295,6 +299,41 @@ class TaskGraph:
         """Tasks with no output edges."""
         self._check_frozen()
         return self._exits
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph (32 hex chars, blake2b-128).
+
+        Two graphs with the same computation costs, the same weighted edge
+        set, and the same effective task names (:meth:`name`, so an unset
+        name equals an explicit ``"t<id>"``) have the same fingerprint —
+        regardless of edge insertion order, ``copy()``, pickling, or the
+        process computing it.  Any change to a comp, a communication cost,
+        an edge, or a name changes it.
+
+        This is the identity key of the zero-copy graph plane: the
+        shared-memory registry (:mod:`repro.graphstore`) and the
+        content-addressed result cache (:mod:`repro.resultcache`) are both
+        addressed by it.  Frozen graphs cache the digest; mutable graphs
+        recompute on every call.
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        h = hashlib.blake2b(digest_size=16)
+        n = len(self._comp)
+        h.update(b"repro-taskgraph-v1")
+        h.update(struct.pack("<Q", n))
+        h.update(struct.pack(f"<{n}d", *self._comp))
+        for t in range(n):
+            name = self.name(t).encode("utf-8")
+            h.update(struct.pack("<I", len(name)))
+            h.update(name)
+        h.update(struct.pack("<Q", len(self._edges)))
+        for (src, dst), comm in sorted(self._edges.items()):
+            h.update(struct.pack("<QQd", src, dst, comm))
+        digest = h.hexdigest()
+        if self._frozen:
+            self._fingerprint = digest
+        return digest
 
     def total_comp(self) -> float:
         """Sum of all computation costs (sequential execution time)."""

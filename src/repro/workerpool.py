@@ -128,12 +128,13 @@ class _Assignment:
 
 
 class _Worker:
-    __slots__ = ("proc", "conn", "assignment")
+    __slots__ = ("proc", "conn", "assignment", "exitcode")
 
     def __init__(self, proc, conn) -> None:
         self.proc = proc
         self.conn = conn
         self.assignment: Optional[_Assignment] = None
+        self.exitcode: Optional[int] = None  # captured at retirement
 
 
 def run_supervised(
@@ -212,10 +213,16 @@ def run_supervised(
 
     def spawn() -> None:
         parent_conn, child_conn = ctx.Pipe()
-        proc = ctx.Process(
-            target=_worker_main, args=(child_conn, runner), daemon=True
-        )
-        proc.start()
+        try:
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn, runner), daemon=True
+            )
+            proc.start()
+        except BaseException:
+            # A failed start must not leak either pipe end.
+            parent_conn.close()
+            child_conn.close()
+            raise
         child_conn.close()
         pool.append(_Worker(proc, parent_conn))
 
@@ -234,10 +241,18 @@ def run_supervised(
         if worker.proc.is_alive():
             worker.proc.kill()
             worker.proc.join(grace)
+        worker.exitcode = worker.proc.exitcode
         try:
             worker.conn.close()
         except OSError:
             pass
+        # Release the Process object's sentinel/pipe fds *now* rather than
+        # whenever the GC finalises it: N kill-and-replace cycles must not
+        # grow the supervisor's fd table (tests/test_workerpool_fds.py).
+        try:
+            worker.proc.close()
+        except ValueError:
+            pass  # unkillable straggler; the GC finaliser will reap it
 
     def work_waiting() -> bool:
         return bool(ready) or bool(delayed)
@@ -287,7 +302,7 @@ def run_supervised(
                 settle(a.index, TaskOutcome(
                     DIED,
                     error=(
-                        f"worker process died (exit code {worker.proc.exitcode}) "
+                        f"worker process died (exit code {worker.exitcode}) "
                         f"after {a.attempt} attempt(s)"
                     ),
                     seconds=run, queue_seconds=queue, attempts=a.attempt,
@@ -425,5 +440,9 @@ def run_supervised(
             try:
                 worker.conn.close()
             except OSError:
+                pass
+            try:
+                worker.proc.close()
+            except ValueError:
                 pass
     return [o for o in outcomes if o is not None]

@@ -1,0 +1,126 @@
+"""``TaskGraph.fingerprint()``: the content identity of the graph plane.
+
+The fingerprint must be *stable* — identical across edge insertion order,
+``copy()``, pickling, and process boundaries — and *sensitive* — different
+whenever any computation cost, communication cost, edge, or task name
+changes.  Both the shared-memory registry and the result cache are
+addressed by it, so these properties are load-bearing.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+from repro.graph.taskgraph import TaskGraph
+from repro.util.rng import make_rng
+from repro.workloads import lu
+
+
+def _diamond(edge_order="forward", b_comp=3.0, bc_name=None, d_comm=1.5):
+    g = TaskGraph()
+    a = g.add_task(2.0, name="a")
+    b = g.add_task(b_comp, name=bc_name or "b")
+    c = g.add_task(4.0)
+    d = g.add_task(5.0, name="d")
+    edges = [(a, b, 1.0), (a, c, 2.0), (b, d, d_comm), (c, d, 0.5)]
+    if edge_order == "reversed":
+        edges = list(reversed(edges))
+    for src, dst, comm in edges:
+        g.add_edge(src, dst, comm=comm)
+    return g
+
+
+class TestStability:
+    def test_edge_insertion_order_irrelevant(self):
+        assert _diamond("forward").fingerprint() == _diamond("reversed").fingerprint()
+
+    def test_freeze_does_not_change_it(self):
+        g = _diamond()
+        before = g.fingerprint()
+        g.freeze()
+        assert g.fingerprint() == before
+        # Frozen graphs cache the digest; the cached answer must agree.
+        assert g.fingerprint() == before
+
+    def test_copy_and_mutable_copy_agree(self):
+        g = _diamond().freeze()
+        assert g.copy().fingerprint() == g.fingerprint()
+        assert g.copy(mutable=True).fingerprint() == g.fingerprint()
+
+    def test_pickle_roundtrip(self):
+        g = lu(6, make_rng(3), ccr=2.0)
+        assert pickle.loads(pickle.dumps(g)).fingerprint() == g.fingerprint()
+
+    def test_unnamed_equals_default_name(self):
+        # name(t) falls back to "t<id>"; an explicit "t<id>" is the same
+        # effective name, so JSON round-trips keep the fingerprint.
+        g1 = TaskGraph()
+        g1.add_task(1.0)
+        g2 = TaskGraph()
+        g2.add_task(1.0, name="t0")
+        assert g1.fingerprint() == g2.fingerprint()
+
+    def test_stable_across_process_boundary(self):
+        g = lu(7, make_rng(0), ccr=1.0)
+        script = textwrap.dedent(
+            """
+            from repro.workloads import lu
+            from repro.util.rng import make_rng
+
+            print(lu(7, make_rng(0), ccr=1.0).fingerprint(), end="")
+            """
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            env=env, check=True,
+        )
+        assert out.stdout == g.fingerprint()
+
+    def test_relabeling_changes_it(self):
+        # The fingerprint is an id-level identity, not a graph-isomorphism
+        # hash: relabeled ids are a different content.
+        g = _diamond().freeze()
+        assert g.relabeled([1, 0, 2, 3]).fingerprint() != g.fingerprint()
+
+
+class TestSensitivity:
+    def test_comp_change(self):
+        assert _diamond(b_comp=3.5).fingerprint() != _diamond().fingerprint()
+
+    def test_comm_change(self):
+        assert _diamond(d_comm=1.0).fingerprint() != _diamond().fingerprint()
+
+    def test_name_change(self):
+        assert _diamond(bc_name="bb").fingerprint() != _diamond().fingerprint()
+
+    def test_set_name_changes_it(self):
+        g = _diamond()
+        before = g.fingerprint()
+        g.set_name(2, "c")
+        assert g.fingerprint() != before
+
+    def test_extra_edge(self):
+        g1 = _diamond()
+        g2 = _diamond()
+        g2.add_edge(0, 3, comm=0.0)
+        assert g1.fingerprint() != g2.fingerprint()
+
+    def test_extra_task(self):
+        g1 = _diamond()
+        g2 = _diamond()
+        g2.add_task(1.0)
+        assert g1.fingerprint() != g2.fingerprint()
+
+    def test_distinct_workloads_distinct(self):
+        fps = {
+            lu(n, make_rng(seed), ccr=ccr).fingerprint()
+            for n in (5, 6)
+            for seed in (0, 1)
+            for ccr in (0.5, 2.0)
+        }
+        assert len(fps) == 8

@@ -1,0 +1,85 @@
+"""File-descriptor hygiene for the supervised worker pool.
+
+Every worker holds a duplex :class:`multiprocessing.Pipe` (two fds on the
+supervisor side until ``spawn`` closes the child end) plus the process
+sentinel.  Kill-and-replace cycles — timeout SIGKILLs and crashed workers —
+must release all of them deterministically (``conn.close()`` +
+``Process.close()``), not whenever the GC gets around to it: a long-lived
+:class:`~repro.batch.BatchScheduler` serving loop would otherwise creep
+toward ``EMFILE``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.workerpool import run_supervised
+
+_FD_DIR = "/proc/self/fd"
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(_FD_DIR), reason="requires /proc/self/fd (Linux)"
+)
+
+
+def _open_fds():
+    return len(os.listdir(_FD_DIR))
+
+
+def _square(x):
+    return x * x
+
+
+def _exit_hard(x):
+    os._exit(2)  # simulates a crashed worker: no cleanup, no exception
+
+
+def _sleep_forever(x):
+    time.sleep(30.0)
+
+
+def _settled_fd_count():
+    # First pool use spins up lasting machinery (resource tracker, etc.);
+    # run once so the baseline reflects steady state, then read the count.
+    run_supervised([1, 2], _square, workers=2)
+    return _open_fds()
+
+
+def test_fd_count_stable_across_healthy_runs():
+    baseline = _settled_fd_count()
+    for _ in range(5):
+        outcomes = run_supervised([1, 2, 3], _square, workers=2)
+        assert all(o.completed for o in outcomes)
+    assert _open_fds() <= baseline
+
+
+def test_fd_count_stable_across_worker_deaths():
+    baseline = _settled_fd_count()
+    # 6 runs x (2 dead workers + replacements) and not one fd of growth.
+    for _ in range(6):
+        outcomes = run_supervised(
+            [1, 2], _exit_hard, workers=2, retries=0,
+        )
+        assert all(o.kind == "died" for o in outcomes)
+    assert _open_fds() <= baseline
+
+
+def test_fd_count_stable_across_timeout_kills():
+    baseline = _settled_fd_count()
+    for _ in range(3):
+        outcomes = run_supervised(
+            [1.0], _sleep_forever, workers=1, timeout=0.2, grace=0.5,
+        )
+        assert outcomes[0].kind == "timeout"
+    assert _open_fds() <= baseline
+
+
+def test_fd_count_stable_with_retries():
+    baseline = _settled_fd_count()
+    for _ in range(3):
+        outcomes = run_supervised(
+            [1], _exit_hard, workers=1, retries=2, backoff=0.01,
+        )
+        assert outcomes[0].kind == "died" and outcomes[0].attempts == 3
+    assert _open_fds() <= baseline

@@ -8,8 +8,11 @@ set -eu
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-# Equivalence + 2x-over-seed floor at smoke scale (REPRO_BENCH_TASKS=300).
-python -m pytest -m perfgate -q benchmarks/bench_throughput.py tests/test_perf_gate.py -p no:cacheprovider
+# Equivalence + 2x-over-seed floor at smoke scale (REPRO_BENCH_TASKS=300),
+# plus the batch graph-plane floors: keyed dispatch >= inline throughput with
+# bit-identical summaries, and keyed+cache serving >= 2x the inline path.
+python -m pytest -m perfgate -q benchmarks/bench_throughput.py tests/test_perf_gate.py \
+    tests/test_batch_graphplane.py -p no:cacheprovider
 
 # Throughput gate at smoke scale against the stored full-scale baseline.
 # Smoke graphs are ~7x smaller than the baseline's, so per-task overheads
