@@ -127,7 +127,10 @@ class BatchResult:
     worker-death retries).  ``cached`` marks a result-cache hit: no worker
     ran, ``seconds``/``queue_seconds`` are 0, and the summary numbers are
     bit-identical to the original computation (schedulers are
-    deterministic).
+    deterministic).  ``certified`` marks a schedule that passed the
+    independent checker (:func:`repro.verify.certify`), including the
+    FLB/ETF greedy certificate where the algorithm owes one; it is only
+    ever ``True`` when the batch ran with ``certify=True``.
     """
 
     tag: str
@@ -143,6 +146,7 @@ class BatchResult:
     queue_seconds: float = 0.0
     attempts: int = 1
     cached: bool = False
+    certified: bool = False
 
     @property
     def ok(self) -> bool:
@@ -173,13 +177,14 @@ def _failed_result(
     )
 
 
-def _run_job(job: BatchJob, validate: bool) -> BatchResult:
+def _run_job(job: BatchJob, validate: bool, certify: bool = False) -> BatchResult:
     """Worker body: schedule one job, mapping any failure to ``error``.
 
     Top-level so worker processes can import it; exceptions are rendered to
     strings here because traceback objects do not cross process boundaries.
     A raising scheduler is a ``scheduler-error``; a schedule that fails
-    validation (or is too degenerate to summarize) is ``invalid-schedule``.
+    validation or certification (or is too degenerate to summarize) is
+    ``invalid-schedule``.
     """
     from repro.metrics.metrics import speedup as speedup_of
     from repro.schedulers import get_scheduler
@@ -202,6 +207,26 @@ def _run_job(job: BatchJob, validate: bool) -> BatchResult:
     try:
         if validate:
             schedule.validate()
+        certified = False
+        if certify:
+            from repro.verify.certify import certify as certify_schedule
+            from repro.verify.certify import greedy_flavor
+
+            cert = certify_schedule(schedule, flavor=greedy_flavor(job.algo))
+            if not cert.ok:
+                detail = "; ".join(
+                    f"{v.code} {v.message}" for v in cert.violations[:5]
+                )
+                more = (
+                    f" (+{len(cert.violations) - 5} more)"
+                    if len(cert.violations) > 5 else ""
+                )
+                return _failed_result(
+                    job, time.perf_counter() - t0,
+                    f"certification failed: {detail}{more}",
+                    INVALID_SCHEDULE,
+                )
+            certified = True
         return BatchResult(
             tag=job.tag,
             algo=job.algo,
@@ -212,6 +237,7 @@ def _run_job(job: BatchJob, validate: bool) -> BatchResult:
             procs_used=schedule.num_procs_used(),
             seconds=time.perf_counter() - t0,
             error=None,
+            certified=certified,
         )
     except Exception:
         return _failed_result(
@@ -222,13 +248,14 @@ def _run_job(job: BatchJob, validate: bool) -> BatchResult:
 
 def _run_packed(packed) -> BatchResult:
     """Module-level runner for the worker pool (must be picklable)."""
-    job, validate = packed
-    return _run_job(job, validate)
+    job, validate, certify = packed
+    return _run_job(job, validate, certify)
 
 
 def _cache_key(
     job: BatchJob,
     validate: bool,
+    certify: bool,
     fingerprints: Dict[int, str],
     store: Optional["graphstore.GraphStore"],
 ):
@@ -236,7 +263,10 @@ def _cache_key(
 
     Jobs with a custom machine have no content fingerprint for the machine
     and bypass the cache.  ``fingerprints`` memoises per graph object so a
-    batch of N jobs over one graph hashes it once.
+    batch of N jobs over one graph hashes it once.  ``certify`` is part of
+    the key: a certified result answers strictly more than an uncertified
+    one, and the cache never serves the weaker answer for the stronger
+    request.
     """
     if job.machine is not None:
         return None
@@ -251,7 +281,7 @@ def _cache_key(
             return None
     else:
         return None
-    return (fp, job.procs, job.algo, validate)
+    return (fp, job.procs, job.algo, validate, certify)
 
 
 def schedule_many(
@@ -259,6 +289,7 @@ def schedule_many(
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
     validate: bool = False,
+    certify: bool = False,
     *,
     grace: float = 1.0,
     retries: int = 2,
@@ -290,6 +321,15 @@ def schedule_many(
         Re-check every produced schedule from first principles
         (:meth:`~repro.schedule.Schedule.validate`) inside the worker; a
         violation is reported as ``invalid-schedule``.
+    certify:
+        Run the full independent checker (:func:`repro.verify.certify`) on
+        every produced schedule inside the worker, including the FLB/ETF
+        greedy certificate where the algorithm owes one.  A failed
+        certificate is reported as ``invalid-schedule`` with the violation
+        codes in ``error``; passing results carry ``certified=True``.  The
+        result cache refuses to store uncertified entries when this is on
+        (and ``certify`` is part of the cache key, so certified and
+        uncertified answers never mix).
     grace:
         Slack for detecting and killing an overrunning worker past
         ``timeout``, and the force-kill budget at shutdown.
@@ -361,7 +401,7 @@ def schedule_many(
     dispatch: List[int] = []
     coalesced: Dict[tuple, List[int]] = {}
     for i, job in enumerate(jobs):
-        keys[i] = _cache_key(job, validate, fingerprints, store)
+        keys[i] = _cache_key(job, validate, certify, fingerprints, store)
         if use_cache:
             hit = cache.get(keys[i])
             if hit is not None:
@@ -392,11 +432,11 @@ def schedule_many(
 
     if dispatch and (workers <= 1 or len(dispatch) <= 1):
         for i in dispatch:
-            results[i] = _run_job(jobs[i], validate)
+            results[i] = _run_job(jobs[i], validate, certify)
         stats["inline_graph_jobs"] = len(dispatch)
     elif dispatch:
         outcomes = _dispatch_pool(
-            [jobs[i] for i in dispatch], workers, timeout, validate,
+            [jobs[i] for i in dispatch], workers, timeout, validate, certify,
             grace=grace, retries=retries, backoff=backoff,
             share_graphs=share_graphs, store=store,
             fingerprints=fingerprints, stats=stats,
@@ -421,7 +461,10 @@ def schedule_many(
     if use_cache:
         for i in dispatch:
             res = results[i]
-            if res is not None and res.ok:
+            # When certification is on, only certified results may enter
+            # the cache: an uncertified entry would later be served as if
+            # it had passed the checker.
+            if res is not None and res.ok and (not certify or res.certified):
                 cache.put(keys[i], res)
 
     if stats_out is not None:
@@ -434,6 +477,7 @@ def _dispatch_pool(
     workers: int,
     timeout: Optional[float],
     validate: bool,
+    certify: bool,
     *,
     grace: float,
     retries: int,
@@ -485,7 +529,7 @@ def _dispatch_pool(
             stats["shared_bytes"] = store.total_bytes()
 
         outcomes = workerpool.run_supervised(
-            [(job, validate) for job in wire],
+            [(job, validate, certify) for job in wire],
             _run_packed,
             workers=min(workers, len(wire)),
             timeout=timeout,
@@ -600,6 +644,7 @@ class BatchScheduler:
         workers: Optional[int] = None,
         timeout: Optional[float] = None,
         validate: bool = False,
+        certify: bool = False,
         *,
         grace: float = 1.0,
         retries: int = 2,
@@ -610,6 +655,7 @@ class BatchScheduler:
         self.workers = workers
         self.timeout = timeout
         self.validate = validate
+        self.certify = certify
         self.grace = grace
         self.retries = retries
         self.backoff = backoff
@@ -635,6 +681,7 @@ class BatchScheduler:
             workers=self.workers,
             timeout=self.timeout,
             validate=self.validate,
+            certify=self.certify,
             grace=self.grace,
             retries=self.retries,
             backoff=self.backoff,

@@ -6,6 +6,8 @@ Subcommands::
     schedule    schedule a graph (generated or loaded) and print the result
     compare     run every algorithm on one instance, side by side
     trace       print the FLB execution trace (Table 1 format)
+    lint        statically analyse a task graph (rule codes G001..)
+    certify     schedule, then independently verify the result (S/F codes)
     experiment  regenerate the paper's tables/figures and the ablations
 
 Examples::
@@ -150,6 +152,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_an = sub.add_parser("analyze", help="print task-graph properties")
     _add_workload_args(p_an)
 
+    p_lint = sub.add_parser(
+        "lint", help="statically analyse a task graph before scheduling"
+    )
+    _add_workload_args(p_lint)
+    p_lint.add_argument("--json", action="store_true", dest="json_out",
+                        help="emit the report as JSON")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures")
+
+    p_cert = sub.add_parser(
+        "certify", help="schedule a graph, then independently certify the result"
+    )
+    _add_workload_args(p_cert)
+    p_cert.add_argument("--procs", type=int, default=4)
+    p_cert.add_argument("--algo", choices=sorted(SCHEDULERS), default="flb")
+    p_cert.add_argument("--json", action="store_true", dest="json_out",
+                        help="emit the certificate as JSON")
+
     p_exec = sub.add_parser(
         "execute", help="schedule, then re-execute under perturbation/contention"
     )
@@ -204,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "doubles per attempt (default: 0.1)")
     p_batch.add_argument("--validate", action="store_true",
                          help="re-check every schedule from first principles")
+    p_batch.add_argument("--certify", action="store_true",
+                         help="run the independent checker (incl. the FLB/ETF "
+                         "greedy certificate) on every schedule; failures "
+                         "report as invalid-schedule")
     p_batch.add_argument("--no-share", action="store_true",
                          help="disable the shared-memory graph plane and "
                          "pickle every graph inline per job (mainly for "
@@ -325,6 +349,53 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Exit codes: 0 = clean (modulo --strict), 1 = findings, 2 = unreadable."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.exceptions import GraphError
+    from repro.graph.io import raw_graph_data
+    from repro.verify import lint, lint_data
+
+    if getattr(args, "graph", None):
+        # Parse the document tolerantly: a graph from_json would reject
+        # (duplicate edges, bad weights, cycles) should be *linted*, with
+        # every problem reported, not bounced at the first error.
+        try:
+            comps, edges, names = raw_graph_data(Path(args.graph).read_text())
+        except (OSError, GraphError) as exc:
+            print(f"cannot lint {args.graph}: {exc}", file=sys.stderr)
+            return 2
+        report = lint_data(comps, edges, names)
+    else:
+        report = lint(_build_problem(args.problem, args.tasks, args.ccr, args.seed))
+    if args.json_out:
+        print(_json.dumps(report.to_dict(strict=args.strict), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok(strict=args.strict) else 1
+
+
+def _cmd_certify(args) -> int:
+    """Exit codes: 0 = certificate valid, 1 = violations found."""
+    import json as _json
+
+    from repro.verify import certify, greedy_flavor
+
+    graph = _resolve_graph(args)
+    schedule = SCHEDULERS[args.algo](graph, args.procs)
+    cert = certify(schedule, flavor=greedy_flavor(args.algo))
+    if args.json_out:
+        doc = cert.to_dict()
+        doc["algo"] = args.algo
+        print(_json.dumps(doc, indent=2))
+    else:
+        print(f"{args.algo} on P={args.procs}:")
+        print(cert.render())
+    return 0 if cert.ok else 1
+
+
 def _cmd_execute(args) -> int:
     import numpy as np
 
@@ -383,6 +454,7 @@ def _cmd_batch(args) -> int:
                     )
     with BatchScheduler(
         workers=args.workers, timeout=args.timeout, validate=args.validate,
+        certify=args.certify,
         grace=args.grace, retries=args.retries, backoff=args.backoff,
         share_graphs=False if args.no_share else None,
         cache_size=max(0, args.cache_size),
@@ -449,6 +521,8 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
+    "lint": _cmd_lint,
+    "certify": _cmd_certify,
     "execute": _cmd_execute,
     "experiment": _cmd_experiment,
 }

@@ -177,13 +177,13 @@ def _flb_fast(
     prt = [0.0] * num_procs
     # Per-processor EP lists keyed (EMT, -BL, id) / (LMT, -BL, id); global
     # non-EP list keyed (LMT, -BL, id) — the same keys FlbLists uses.
-    emt_heaps: List[list] = [[] for _ in range(num_procs)]
-    lmt_heaps: List[list] = [[] for _ in range(num_procs)]
-    non_ep_heap: list = []
+    emt_heaps: List[List[Tuple[float, float, int]]] = [[] for _ in range(num_procs)]
+    lmt_heaps: List[List[Tuple[float, float, int]]] = [[] for _ in range(num_procs)]
+    non_ep_heap: List[Tuple[float, float, int]] = []
     # Processor lists: active procs by (min EST, id), all procs by (PRT, id).
     # An active entry is current iff its EST equals active_est[p]; an
     # all-procs entry iff its key equals prt[p] (PRT strictly increases).
-    active_heap: list = []
+    active_heap: List[Tuple[float, int]] = []
     active_est: List[Optional[float]] = [None] * num_procs
     all_heap = [(0.0, p) for p in range(num_procs)]  # sorted => a valid heap
 
@@ -371,9 +371,11 @@ def _flb_observed(
         else:
             take_ep = cand_ep[2] <= cand_non[2]
         if take_ep:
+            assert cand_ep is not None
             task, proc, est = cand_ep
             is_ep = True
         else:
+            assert cand_non is not None
             task, proc, est = cand_non
             is_ep = False
 

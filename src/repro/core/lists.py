@@ -45,11 +45,15 @@ class FlbLists:
             raise ValueError(f"num_procs must be >= 1, got {num_procs}")
         self._bl = bottom_level
         self.num_procs = num_procs
-        self._emt_ep: List[IndexedHeap] = [IndexedHeap() for _ in range(num_procs)]
-        self._lmt_ep: List[IndexedHeap] = [IndexedHeap() for _ in range(num_procs)]
-        self._non_ep: IndexedHeap = IndexedHeap()
-        self._active: IndexedHeap = IndexedHeap()
-        self._all_procs: IndexedHeap = IndexedHeap()
+        self._emt_ep: List[IndexedHeap[int]] = [
+            IndexedHeap() for _ in range(num_procs)
+        ]
+        self._lmt_ep: List[IndexedHeap[int]] = [
+            IndexedHeap() for _ in range(num_procs)
+        ]
+        self._non_ep: IndexedHeap[int] = IndexedHeap()
+        self._active: IndexedHeap[int] = IndexedHeap()
+        self._all_procs: IndexedHeap[int] = IndexedHeap()
         self._prt: List[float] = [0.0] * num_procs
         self._num_ready = 0
         for p in range(num_procs):
@@ -93,7 +97,7 @@ class FlbLists:
         proc = self._active.peek_item()
         if proc is None:
             return None
-        est = self._active.key_of(proc)[0]
+        est = float(self._active.key_of(proc)[0])
         task = self._emt_ep[proc].peek_item()
         assert task is not None, "active processor with empty EP list"
         return task, proc, est
@@ -106,7 +110,7 @@ class FlbLists:
             return None
         proc = self._all_procs.peek_item()
         assert proc is not None
-        lmt = self._non_ep.key_of(task)[0]
+        lmt = float(self._non_ep.key_of(task)[0])
         return task, proc, max(lmt, self._prt[proc])
 
     def ep_tasks_by_emt(self, proc: int) -> List[Tuple[int, float]]:
@@ -126,7 +130,7 @@ class FlbLists:
         return out
 
     def lmt_of_ep_task(self, proc: int, task: int) -> float:
-        return self._lmt_ep[proc].key_of(task)[0]
+        return float(self._lmt_ep[proc].key_of(task)[0])
 
     # -- mutations -------------------------------------------------------------
 
@@ -204,6 +208,7 @@ class FlbLists:
             else:
                 assert p in self._active
                 head = self._emt_ep[p].peek_item()
+                assert head is not None
                 emt = self._emt_ep[p].key_of(head)[0]
                 assert self._active.key_of(p) == (max(emt, self._prt[p]), p)
             assert self._all_procs.key_of(p) == (self._prt[p], p)

@@ -62,7 +62,8 @@ def flb_reference(
         # Replicates the fast path's ordering exactly: processors are ranked
         # by (min EST, proc id); within a processor, EP tasks by
         # (EMT, -BL, id).
-        best_ep: Optional[Tuple] = None  # (est, proc, emt, -bl, id)
+        best_ep: Optional[Tuple[float, int, float, float, int]] = None
+        # best_ep key: (est, proc, emt, -bl, id)
         for task in ready:
             p = ep[task]
             if p is None or lmt[task] < schedule.prt(p):
@@ -74,7 +75,7 @@ def flb_reference(
                 best_ep = key
         # Candidate (b): non-EP task with minimum LMT on the earliest-idle
         # processor (processor ties by id; task ties by (-BL, id)).
-        best_non: Optional[Tuple] = None  # (lmt, -bl, id)
+        best_non: Optional[Tuple[float, float, int]] = None  # (lmt, -bl, id)
         for task in ready:
             p = ep[task]
             if p is not None and lmt[task] >= schedule.prt(p):

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import GraphError
 from repro.graph.taskgraph import TaskGraph
@@ -29,6 +29,7 @@ from repro.graph.taskgraph import TaskGraph
 __all__ = [
     "to_json",
     "from_json",
+    "raw_graph_data",
     "save_json",
     "load_json",
     "to_tg_text",
@@ -65,7 +66,7 @@ def from_json(text: str) -> TaskGraph:
         raise GraphError("not a repro-taskgraph JSON document")
     tasks = doc.get("tasks", [])
     graph = TaskGraph()
-    by_id: Dict[int, dict] = {}
+    by_id: Dict[int, Dict[str, Any]] = {}
     for entry in tasks:
         by_id[int(entry["id"])] = entry
     if sorted(by_id) != list(range(len(tasks))):
@@ -76,6 +77,51 @@ def from_json(text: str) -> TaskGraph:
     for entry in doc.get("edges", []):
         graph.add_edge(int(entry["src"]), int(entry["dst"]), float(entry["comm"]))
     return graph.freeze()
+
+
+def raw_graph_data(
+    text: str,
+) -> "Tuple[List[float], List[Tuple[int, int, float]], List[Optional[str]]]":
+    """Tolerantly extract ``(comps, edges, names)`` from task-graph JSON.
+
+    Unlike :func:`from_json` this does **not** validate through
+    :class:`TaskGraph` — malformed graphs (duplicate edges, self-loops,
+    bad weights, cycles) come back as plain data so the linter
+    (:func:`repro.verify.lint_data`) can report *every* problem with stable
+    rule codes instead of stopping at the first constructor error.  Only
+    structurally unreadable documents (not JSON, wrong format marker,
+    tasks without ``id``/``comp``) raise :class:`~repro.exceptions.GraphError`.
+
+    Task ids need not be dense; they are remapped to ``0..V-1`` in sorted
+    order.  Edge endpoints that name unknown task ids map to ``-1`` (the
+    linter reports them as out-of-range).
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid task-graph JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "repro-taskgraph":
+        raise GraphError("not a repro-taskgraph JSON document")
+    comps: List[float] = []
+    names: List[Optional[str]] = []
+    index: Dict[int, int] = {}
+    try:
+        entries = sorted(doc.get("tasks", []), key=lambda e: int(e["id"]))
+        for entry in entries:
+            index.setdefault(int(entry["id"]), len(comps))
+            comps.append(float(entry["comp"]))
+            names.append(entry.get("name"))
+        edges: List[Tuple[int, int, float]] = [
+            (
+                index.get(int(entry["src"]), -1),
+                index.get(int(entry["dst"]), -1),
+                float(entry["comm"]),
+            )
+            for entry in doc.get("edges", [])
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"malformed task-graph document: {exc}") from exc
+    return comps, edges, names
 
 
 def save_json(graph: TaskGraph, path: Union[str, Path]) -> None:
@@ -100,7 +146,7 @@ def from_tg_text(text: str) -> TaskGraph:
     """Parse the TG text format (see module docstring)."""
     comps: Dict[int, float] = {}
     names: Dict[int, str] = {}
-    edges: List[tuple] = []
+    edges: List[Tuple[int, int, float]] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):

@@ -29,7 +29,7 @@ reporting on very large graphs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence
+from typing import Deque, Dict, List, Sequence
 
 from repro.graph.taskgraph import TaskGraph
 
@@ -171,7 +171,7 @@ def width_lower_bound(graph: TaskGraph) -> int:
     """
     graph.freeze()
     remaining = [graph.in_degree(t) for t in graph.tasks()]
-    ready = deque(graph.entry_tasks)
+    ready: Deque[int] = deque(graph.entry_tasks)
     peak = len(ready)
     while ready:
         t = ready.popleft()
@@ -243,7 +243,7 @@ def _hopcroft_karp(n: int, adjacency: Sequence[Sequence[int]]) -> int:
     dist: List[float] = [0.0] * n
 
     def bfs() -> bool:
-        queue = deque()
+        queue: Deque[int] = deque()
         for u in range(n):
             if match_left[u] == -1:
                 dist[u] = 0

@@ -40,12 +40,12 @@ class AdjacencyCSR:
     ``docs/performance.md``.
     """
 
-    pred_ptr: array  # array('i'), length V+1
-    pred_ids: array  # array('i'), length E
-    pred_comm: array  # array('d'), length E
-    succ_ptr: array  # array('i'), length V+1
-    succ_ids: array  # array('i'), length E
-    succ_comm: array  # array('d'), length E
+    pred_ptr: array[int]  # array('i'), length V+1
+    pred_ids: array[int]  # array('i'), length E
+    pred_comm: array[float]  # array('d'), length E
+    succ_ptr: array[int]  # array('i'), length V+1
+    succ_ids: array[int]  # array('i'), length E
+    succ_comm: array[float]  # array('d'), length E
 
     def in_degrees(self) -> List[int]:
         """Per-task predecessor counts as a plain list (hot-loop friendly)."""
@@ -177,8 +177,19 @@ class TaskGraph:
                 if indeg[s] == 0:
                     frontier.append(s)
         if len(topo) != n:
+            # Name an actual cycle, not just the stuck tasks: the graphlint
+            # witness finder walks one back edge to a concrete path.
+            # Imported lazily — repro.verify.graphlint imports this module.
+            from repro.verify.graphlint import find_cycle
+
+            witness = find_cycle(n, self._edges.keys())
+            if witness is not None:
+                path = " -> ".join(self.name(t) for t in witness)
+                raise CycleError(f"task graph contains a cycle: {path}")
             stuck = sorted(t for t in range(n) if indeg[t] > 0)
-            raise CycleError(f"task graph contains a cycle through tasks {stuck[:10]}")
+            raise CycleError(
+                f"task graph contains a cycle through tasks {stuck[:10]}"
+            )
         self._succs = [tuple(sorted(s)) for s in succ_lists]
         self._preds = [tuple(sorted(p)) for p in pred_lists]
         self._topo = tuple(topo)
@@ -324,7 +335,7 @@ class TaskGraph:
         h.update(struct.pack("<Q", n))
         h.update(struct.pack(f"<{n}d", *self._comp))
         for t in range(n):
-            name = self.name(t).encode("utf-8")
+            name = self.name(t).encode()
             h.update(struct.pack("<I", len(name)))
             h.update(name)
         h.update(struct.pack("<Q", len(self._edges)))

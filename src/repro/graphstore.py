@@ -105,7 +105,7 @@ def encode_graph(graph: TaskGraph) -> bytes:
     csr = graph.csr()
     names_blob = json.dumps(
         [graph._names[t] for t in graph.tasks()], ensure_ascii=False
-    ).encode("utf-8")
+    ).encode()
     parts = [
         _HEADER.pack(_MAGIC, _VERSION, graph.num_tasks, graph.num_edges,
                      len(names_blob)),
@@ -156,7 +156,7 @@ def decode_graph(buf) -> TaskGraph:
         succ_comm, off = take("d", e, off)
         if off + names_len > len(mv):
             raise GraphStoreError("truncated graph segment (names)")
-        names = json.loads(bytes(mv[off:off + names_len]).decode("utf-8"))
+        names = json.loads(bytes(mv[off:off + names_len]).decode())
         if len(names) != n:
             raise GraphStoreError(
                 f"graph segment names/tasks mismatch ({len(names)} vs {n})"

@@ -33,13 +33,13 @@ __all__ = ["ResultCache", "DEFAULT_CACHE_SIZE"]
 #: (a scalar ``BatchResult``), so the default costs well under a megabyte.
 DEFAULT_CACHE_SIZE = 1024
 
-#: Cache key: (graph fingerprint, procs, algo, validate).
-CacheKey = Tuple[str, int, str, bool]
+#: Cache key: (graph fingerprint, procs, algo, validate, certify).
+CacheKey = Tuple[str, int, str, bool, bool]
 
 
 class ResultCache:
-    """Bounded LRU mapping ``(fingerprint, procs, algo, validate)`` to a
-    successful :class:`~repro.batch.BatchResult`.
+    """Bounded LRU mapping ``(fingerprint, procs, algo, validate, certify)``
+    to a successful :class:`~repro.batch.BatchResult`.
 
     ``capacity=0`` disables the cache (every lookup misses nothing — no
     counters move, nothing is stored), which keeps call sites free of

@@ -250,42 +250,18 @@ class Schedule:
 
     def violations(self) -> List[str]:
         """Check all schedule-correctness conditions; return human-readable
-        descriptions of every violation (empty list = valid)."""
-        graph, machine = self._graph, self._machine
-        problems: List[str] = []
-        for t in graph.tasks():
-            if not self._placed[t]:
-                problems.append(f"task {t} is not scheduled")
-                continue
-            if self._start[t] < -_EPS:
-                problems.append(f"task {t} starts before time 0 ({self._start[t]})")
-            expected = self._start[t] + machine.duration(graph.comp(t), self._proc[t])
-            if abs(self._finish[t] - expected) > _EPS:
-                problems.append(
-                    f"task {t}: FT {self._finish[t]} != ST + comp = {expected}"
-                )
-        # Processor exclusivity.
-        for p in machine.procs:
-            ordered = sorted(self._proc_tasks[p], key=lambda t: self._start[t])
-            for a, b in zip(ordered, ordered[1:]):
-                if self._start[b] < self._finish[a] - _EPS:
-                    problems.append(
-                        f"tasks {a} and {b} overlap on processor {p}: "
-                        f"[{self._start[a]}, {self._finish[a]}) vs "
-                        f"[{self._start[b]}, {self._finish[b]})"
-                    )
-        # Precedence + communication.
-        for src, dst, comm in graph.edges():
-            if not (self._placed[src] and self._placed[dst]):
-                continue
-            delay = machine.comm_delay(self._proc[src], self._proc[dst], comm)
-            earliest = self._finish[src] + delay
-            if self._start[dst] < earliest - _EPS:
-                problems.append(
-                    f"edge ({src}->{dst}): task {dst} starts at {self._start[dst]} "
-                    f"before message arrival {earliest}"
-                )
-        return problems
+        descriptions of every violation (empty list = valid).
+
+        Delegates to the independent checker in :mod:`repro.verify.certify`
+        (structural invariants ``S001``..``S006``), which recomputes every
+        quantity from the graph and machine model rather than trusting this
+        class's internals.  Use :func:`repro.verify.certify` directly for
+        the machine-readable :class:`~repro.verify.Certificate` and the
+        FLB/ETF greedy certificate.
+        """
+        from repro.verify.certify import certify
+
+        return [v.message for v in certify(self).violations]
 
     def validate(self) -> "Schedule":
         """Raise :class:`InvalidScheduleError` on any violation; else return self."""

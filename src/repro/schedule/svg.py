@@ -9,7 +9,7 @@ times.  Complements the ASCII renderer for reports and documentation.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import List, Set, Union
 from xml.sax.saxutils import escape
 
 from repro.schedule.analysis import slack_times
@@ -44,7 +44,7 @@ def render_gantt_svg(
     height = margin_top + procs * lane_height + axis_height
     scale = chart_w / makespan if makespan > 0 else 1.0
 
-    critical = set()
+    critical: Set[int] = set()
     if highlight_critical and schedule.complete:
         slack = slack_times(schedule)
         critical = {t for t, s in enumerate(slack) if s <= 1e-9}
@@ -115,6 +115,14 @@ def render_gantt_svg(
     return "\n".join(parts)
 
 
-def save_gantt_svg(schedule: Schedule, path: Union[str, Path], **kwargs) -> None:
+def save_gantt_svg(
+    schedule: Schedule,
+    path: Union[str, Path],
+    width: int = 900,
+    lane_height: int = 34,
+    highlight_critical: bool = True,
+) -> None:
     """Write the SVG rendering of ``schedule`` to ``path``."""
-    Path(path).write_text(render_gantt_svg(schedule, **kwargs))
+    Path(path).write_text(
+        render_gantt_svg(schedule, width, lane_height, highlight_critical)
+    )

@@ -1,0 +1,46 @@
+"""Static verification plane: graph linting and schedule certification.
+
+Two independent planes sit in front of and behind the schedulers:
+
+* :mod:`repro.verify.graphlint` analyses a task graph *before* scheduling —
+  a rule-registry linter (codes ``G001``..) that catches cycles (with a
+  witness path), malformed weights, and structural anomalies that would
+  either crash a scheduler or silently produce meaningless schedules.
+* :mod:`repro.verify.certify` checks a produced :class:`~repro.schedule.Schedule`
+  *after* scheduling — an independent checker, deliberately sharing no code
+  with the scheduling kernels, that verifies the paper's formal invariants
+  (codes ``S001``..) and, for FLB/ETF, the Theorem-3 greedy certificate
+  (codes ``F001``..).
+
+See ``docs/verification.md`` for the full rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.verify.certify import (
+    Certificate,
+    Violation,
+    certify,
+    greedy_flavor,
+)
+from repro.verify.graphlint import (
+    LintIssue,
+    LintReport,
+    find_cycle,
+    lint,
+    lint_data,
+    rule_catalogue,
+)
+
+__all__ = [
+    "Certificate",
+    "Violation",
+    "certify",
+    "greedy_flavor",
+    "LintIssue",
+    "LintReport",
+    "find_cycle",
+    "lint",
+    "lint_data",
+    "rule_catalogue",
+]

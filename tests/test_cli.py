@@ -165,3 +165,103 @@ class TestExecute:
         assert code == 0
         assert "contended" in text
         assert "perturbed" in text
+
+
+class TestLint:
+    def test_clean_workload(self, capsys):
+        code, text = run_cli(capsys, "lint", "--problem", "lu", "--tasks", "80")
+        assert code == 0
+        assert "clean" in text
+
+    def test_json_output(self, capsys):
+        code, text = run_cli(
+            capsys, "lint", "--problem", "fft", "--tasks", "60", "--json"
+        )
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["ok"] is True
+        assert doc["issues"] == []
+
+    def test_malformed_file_reports_all_codes(self, tmp_path, capsys):
+        doc = {
+            "format": "repro-taskgraph",
+            "version": 1,
+            "tasks": [{"id": 0, "comp": 1.0}, {"id": 1, "comp": -1.0}],
+            "edges": [
+                {"src": 0, "dst": 1, "comm": 1.0},
+                {"src": 0, "dst": 1, "comm": 2.0},
+                {"src": 1, "dst": 0, "comm": 1.0},
+            ],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        code, text = run_cli(capsys, "lint", "--graph", str(path))
+        assert code == 1
+        for rule in ("G001", "G003", "G004"):
+            assert rule in text
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        doc = {
+            "format": "repro-taskgraph",
+            "version": 1,
+            "tasks": [
+                {"id": 0, "comp": 1.0},
+                {"id": 1, "comp": 1.0},
+                {"id": 2, "comp": 1.0},
+            ],
+            "edges": [{"src": 0, "dst": 1, "comm": 1.0}],
+        }
+        path = tmp_path / "warn.json"
+        path.write_text(json.dumps(doc))
+        code, _ = run_cli(capsys, "lint", "--graph", str(path))
+        assert code == 0  # G006 isolated task is only a warning
+        code, _ = run_cli(capsys, "lint", "--graph", str(path), "--strict")
+        assert code == 1
+
+    def test_unreadable_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text("{ not json")
+        assert main(["lint", "--graph", str(path)]) == 2
+
+
+class TestCertify:
+    def test_flb_certifies(self, capsys):
+        code, text = run_cli(
+            capsys, "certify", "--problem", "lu", "--tasks", "80",
+            "--procs", "4", "--algo", "flb",
+        )
+        assert code == 0
+        assert "greedy certificate (flb): checked" in text
+        assert "valid" in text
+
+    def test_structural_only_algo(self, capsys):
+        code, text = run_cli(
+            capsys, "certify", "--problem", "fft", "--tasks", "60",
+            "--procs", "4", "--algo", "mcp", "--json",
+        )
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["ok"] is True
+        assert doc["flavor"] is None
+        assert doc["algo"] == "mcp"
+
+    def test_from_file(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        run_cli(capsys, "generate", "--problem", "stencil", "--tasks", "50",
+                "-o", str(out))
+        code, text = run_cli(
+            capsys, "certify", "--graph", str(out), "--procs", "2", "--algo", "etf"
+        )
+        assert code == 0
+        assert "greedy certificate (etf): checked" in text
+
+
+class TestBatchCertify:
+    def test_batch_certify_flag(self, capsys):
+        code, text = run_cli(
+            capsys,
+            "batch", "--problems", "lu", "--procs", "2", "--algos", "flb", "etf",
+            "--tasks", "60", "--workers", "1", "--certify",
+        )
+        assert code == 0
+        assert "2/2 ok" in text

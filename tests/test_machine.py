@@ -40,5 +40,5 @@ class TestMachineModel:
 
     def test_frozen(self):
         m = MachineModel(2)
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             m.num_procs = 3  # type: ignore[misc]

@@ -166,7 +166,7 @@ class TestScheduleIo:
 
         doc = json.loads(schedule_to_json(s))
         doc["placements"][3]["start"] = 0.0  # break precedence
-        with pytest.raises(Exception):
+        with pytest.raises(ScheduleError):
             schedule_from_json(json.dumps(doc))
 
 

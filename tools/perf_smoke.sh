@@ -21,4 +21,16 @@ python -m pytest -m perfgate -q benchmarks/bench_throughput.py tests/test_perf_g
 python benchmarks/perf_gate.py --tasks 300 --seeds 1 --repeats 1 --no-seed \
     --tolerance 0.6 --no-write
 
+# Optional verification pass (REPRO_SMOKE_CERTIFY=1): lint the smoke
+# workloads and re-certify the fast path's schedules against the
+# independent checker (repro.verify) before trusting the numbers above.
+if [ "${REPRO_SMOKE_CERTIFY:-0}" = "1" ]; then
+    for prob in lu fft stencil; do
+        python -m repro.cli lint --problem "$prob" --tasks 300
+        python -m repro.cli certify --problem "$prob" --tasks 300 \
+            --procs 8 --algo flb
+    done
+    echo "perf smoke certification OK"
+fi
+
 echo "perf smoke OK"
