@@ -1,34 +1,73 @@
 """repro — reproduction of "FLB: Fast Load Balancing for Distributed-Memory
-Machines" (Rădulescu & van Gemund, ICPP 1999).
+Machines" (Rădulescu & van Gemund, ICPP 1999), grown into a batch scheduling
+service.
 
-Public API highlights:
+Public API (snapshot-tested in ``tests/test_public_api.py``):
 
-* :class:`repro.graph.TaskGraph` — the weighted task-DAG program model.
-* :mod:`repro.workloads` — LU / Laplace / Stencil / FFT and other generators.
-* :func:`repro.core.flb` — the paper's FLB scheduling algorithm.
-* :mod:`repro.schedulers` — baselines (ETF, MCP, FCP, DLS, HLFET, DSC-LLB)
-  and the ``schedule_graph(graph, procs, algorithm=...)`` entry point.
-* :mod:`repro.sim` — discrete-event re-execution of schedules.
-* :mod:`repro.bench` — the experiment harness regenerating the paper's
-  tables and figures.
+* :class:`repro.TaskGraph` / :class:`repro.MachineModel` — the weighted
+  task-DAG program model and the machine it runs on.
+* :func:`repro.flb` — the paper's FLB scheduling algorithm
+  (:mod:`repro.schedulers` holds the baselines: ETF, MCP, FCP, DLS, ...).
+* :class:`repro.SchedulingOptions` — the unified options record accepted by
+  every entry point (:mod:`repro.api`).
+* :func:`repro.schedule_graph` — schedule one graph in-process.
+* :func:`repro.schedule_many` / :class:`repro.BatchScheduler` — the batch
+  serving front-end over supervised worker processes (:mod:`repro.batch`).
+* :func:`repro.lint` / :func:`repro.certify` — the verification plane
+  (:mod:`repro.verify`): DAG linting before, independent certification after.
+* :class:`repro.MetricsRegistry` — the observability plane
+  (:mod:`repro.obs`): counters/histograms, spans, Prometheus + JSONL export.
+
+Heavier subsystems stay behind their submodules and import lazily here
+(PEP 562), so ``import repro`` does not pay for the batch/verify planes
+until they are used.
 """
+
+from __future__ import annotations
+
+from typing import Any, List
 
 from repro._version import __version__
 from repro.core import flb
 from repro.graph import TaskGraph
 from repro.machine import MachineModel
 
-__all__ = ["__version__", "TaskGraph", "MachineModel", "flb", "schedule_graph"]
+__all__ = [
+    "__version__",
+    "TaskGraph",
+    "MachineModel",
+    "flb",
+    "schedule_graph",
+    "schedule_many",
+    "BatchScheduler",
+    "SchedulingOptions",
+    "MetricsRegistry",
+    "lint",
+    "certify",
+]
+
+#: Lazily imported public names: attribute -> (module, attribute there).
+_LAZY = {
+    "schedule_graph": ("repro.api", "schedule_graph"),
+    "SchedulingOptions": ("repro.api", "SchedulingOptions"),
+    "schedule_many": ("repro.batch", "schedule_many"),
+    "BatchScheduler": ("repro.batch", "BatchScheduler"),
+    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
+    "lint": ("repro.verify", "lint"),
+    "certify": ("repro.verify", "certify"),
+}
 
 
-def schedule_graph(graph, num_procs, algorithm="flb", **kwargs):
-    """Schedule ``graph`` on ``num_procs`` processors with the named algorithm.
+def __getattr__(name: str) -> Any:
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
 
-    Convenience wrapper around :func:`repro.schedulers.get_scheduler`; see
-    :data:`repro.schedulers.SCHEDULERS` for available algorithm names.
-    (Named ``schedule_graph`` rather than ``schedule`` to avoid shadowing the
-    :mod:`repro.schedule` subpackage.)
-    """
-    from repro.schedulers import get_scheduler
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
 
-    return get_scheduler(algorithm)(graph, num_procs, **kwargs)
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,210 @@
+"""Unified scheduling API: one options object for every entry point.
+
+The three serving entry points — :func:`repro.schedule_graph` (one graph,
+in-process), :func:`repro.batch.schedule_many` (a batch across worker
+processes) and :meth:`repro.batch.BatchScheduler.run` (the long-lived
+serving front-end) — grew drifting per-function keyword sets (``validate``
+here, ``certify`` there, ``timeout``/``retries`` only on the batch side).
+:class:`SchedulingOptions` replaces that drift with a single frozen
+dataclass accepted by all three::
+
+    from repro import SchedulingOptions, schedule_graph, schedule_many
+
+    opts = SchedulingOptions(procs=8, algorithm="flb", validate=True)
+    schedule = schedule_graph(graph, opts)
+    results = schedule_many(jobs, workers=4, options=opts.replace(timeout=5.0))
+
+The legacy keywords keep working through shims that emit a single
+:class:`DeprecationWarning` per call and produce **bit-identical**
+schedules (enforced by ``tests/test_api_options.py``).  Pool-shape
+parameters that are not scheduling semantics (``workers``, ``grace``,
+``backoff``, ``share_graphs``, ``cache``, ``store``) stay ordinary
+keywords and never warn.
+
+Fields (see each entry point for which ones it consumes):
+
+* ``procs`` / ``algorithm`` — the scheduling request itself; used by
+  :func:`schedule_graph`.  Batch entry points take them per
+  :class:`~repro.batch.BatchJob` and ignore these fields.
+* ``validate`` — re-check every schedule from first principles.
+* ``certify`` — run the independent checker (:mod:`repro.verify`).
+* ``timeout`` / ``retries`` — per-job execution budget and worker-death
+  retries; batch-only (an in-process call cannot be contained).
+* ``metrics`` — a :class:`repro.obs.MetricsRegistry` to record into;
+  ``None`` (default) disables all instrumentation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.graph.taskgraph import TaskGraph
+    from repro.machine.model import MachineModel
+    from repro.schedule.schedule import Schedule
+
+__all__ = ["SchedulingOptions", "schedule_graph", "UNSET", "resolve_options"]
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from an explicit default."""
+
+    _instance: Optional["_Unset"] = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Default value for deprecated keyword shims: any other value means the
+#: caller really passed the keyword, which triggers the deprecation path.
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class SchedulingOptions:
+    """The one scheduling-options record shared by every entry point."""
+
+    procs: Optional[int] = None
+    algorithm: str = "flb"
+    validate: bool = False
+    certify: bool = False
+    timeout: Optional[float] = None
+    retries: int = 2
+    metrics: Optional[MetricsRegistry] = None
+
+    def __post_init__(self) -> None:
+        if self.procs is not None and self.procs < 1:
+            raise ValueError(f"procs must be >= 1, got {self.procs}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+    def replace(self, **changes: Any) -> "SchedulingOptions":
+        """A copy with ``changes`` applied (frozen dataclasses are immutable)."""
+        return dataclasses.replace(self, **changes)
+
+
+def resolve_options(
+    entry_point: str,
+    options: Optional[SchedulingOptions],
+    legacy: Dict[str, Any],
+    stacklevel: int = 3,
+) -> SchedulingOptions:
+    """Fold an entry point's deprecated keywords into a ``SchedulingOptions``.
+
+    ``legacy`` maps field name to the received value, with :data:`UNSET`
+    standing for "not passed".  Exactly one :class:`DeprecationWarning` is
+    emitted per call that used any legacy keyword; mixing ``options`` with
+    legacy keywords is a :class:`TypeError` (the ambiguity has no right
+    answer).
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not UNSET}
+    if options is not None:
+        if supplied:
+            raise TypeError(
+                f"{entry_point}: pass either options=SchedulingOptions(...) or "
+                f"the legacy keyword(s) {sorted(supplied)}, not both"
+            )
+        return options
+    opts = SchedulingOptions(**supplied)
+    if supplied:
+        warnings.warn(
+            f"{entry_point}: the {sorted(supplied)} keyword(s) are deprecated; "
+            f"pass options=SchedulingOptions(...) instead "
+            f"(see docs/performance.md, 'Unified scheduling options')",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    return opts
+
+
+def schedule_graph(
+    graph: "TaskGraph",
+    num_procs: Any = None,
+    algorithm: Any = UNSET,
+    *,
+    options: Optional[SchedulingOptions] = None,
+    machine: Optional["MachineModel"] = None,
+    **kwargs: Any,
+) -> "Schedule":
+    """Schedule ``graph`` in-process with the configured algorithm.
+
+    The canonical form takes a :class:`SchedulingOptions` (keyword or as
+    the second positional argument)::
+
+        schedule_graph(graph, SchedulingOptions(procs=8, algorithm="etf"))
+        schedule_graph(graph, options=opts, machine=hetero_machine)
+
+    ``options.validate`` re-checks the result from first principles;
+    ``options.certify`` additionally runs the independent checker
+    (:func:`repro.verify.certify`, including the FLB/ETF greedy
+    certificate) and raises
+    :class:`~repro.exceptions.InvalidScheduleError` on a failed
+    certificate.  ``options.metrics`` records a ``sched.kernel`` span with
+    the kernel wall time (``timeout``/``retries`` do not apply in-process
+    and are ignored).  Extra keywords (``observer=...``,
+    ``prefer_non_ep_on_tie=...``) pass through to the algorithm.
+
+    The legacy form ``schedule_graph(graph, num_procs, algorithm="flb")``
+    keeps working, emits one :class:`DeprecationWarning`, and returns a
+    bit-identical schedule.
+    """
+    from repro.schedulers import get_scheduler
+
+    if isinstance(num_procs, SchedulingOptions):
+        if options is not None:
+            raise TypeError("schedule_graph: options passed twice")
+        options = num_procs
+        num_procs = None
+    opts = resolve_options(
+        "schedule_graph",
+        options,
+        {
+            "procs": num_procs if num_procs is not None else UNSET,
+            "algorithm": algorithm,
+        },
+    )
+    scheduler = get_scheduler(opts.algorithm)
+    metrics = opts.metrics
+    if metrics is not None:
+        with metrics.span("sched.kernel", algo=opts.algorithm) as s:
+            schedule = scheduler(graph, opts.procs, machine=machine, **kwargs)
+            s.annotate(
+                procs=schedule.num_procs,
+                tasks=graph.num_tasks,
+                makespan=schedule.makespan,
+            )
+    else:
+        schedule = scheduler(graph, opts.procs, machine=machine, **kwargs)
+    if opts.validate and not opts.certify:
+        schedule.validate()
+    if opts.certify:
+        # The certificate subsumes validation: it checks the structural
+        # invariants plus the greedy certificate where the algorithm owes one.
+        from repro.exceptions import InvalidScheduleError
+        from repro.verify import certify as certify_schedule
+        from repro.verify import greedy_flavor
+
+        if metrics is not None:
+            with metrics.span("verify.certify", algo=opts.algorithm):
+                cert = certify_schedule(schedule, flavor=greedy_flavor(opts.algorithm))
+        else:
+            cert = certify_schedule(schedule, flavor=greedy_flavor(opts.algorithm))
+        if not cert.ok:
+            detail = "; ".join(f"{v.code} {v.message}" for v in cert.violations[:5])
+            raise InvalidScheduleError(f"certification failed: {detail}")
+    return schedule

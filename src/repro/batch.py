@@ -56,10 +56,12 @@ import os
 import time
 import traceback
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.api import UNSET, SchedulingOptions, resolve_options
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.model import MachineModel
+from repro.obs.metrics import MetricsRegistry
 from repro.resultcache import DEFAULT_CACHE_SIZE, ResultCache
 from repro import graphstore, workerpool
 
@@ -130,7 +132,12 @@ class BatchResult:
     deterministic).  ``certified`` marks a schedule that passed the
     independent checker (:func:`repro.verify.certify`), including the
     FLB/ETF greedy certificate where the algorithm owes one; it is only
-    ever ``True`` when the batch ran with ``certify=True``.
+    ever ``True`` when the batch ran with ``certify=True``.  ``phases`` is
+    the worker-measured phase breakdown in seconds (``attach`` /
+    ``schedule`` / ``certify``), populated only when the batch ran with
+    metrics enabled; the observability plane adds ``queue`` and the
+    dispatch/reply residual (``other``) supervisor-side (see
+    docs/observability.md).
     """
 
     tag: str
@@ -147,6 +154,7 @@ class BatchResult:
     attempts: int = 1
     cached: bool = False
     certified: bool = False
+    phases: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -160,6 +168,7 @@ def _failed_result(
     error_kind: str,
     queue_seconds: float = 0.0,
     attempts: int = 1,
+    phases: Optional[Dict[str, float]] = None,
 ) -> BatchResult:
     return BatchResult(
         tag=job.tag,
@@ -174,21 +183,27 @@ def _failed_result(
         error_kind=error_kind,
         queue_seconds=queue_seconds,
         attempts=attempts,
+        phases=phases,
     )
 
 
-def _run_job(job: BatchJob, validate: bool, certify: bool = False) -> BatchResult:
+def _run_job(
+    job: BatchJob, validate: bool, certify: bool = False, measure: bool = False
+) -> BatchResult:
     """Worker body: schedule one job, mapping any failure to ``error``.
 
     Top-level so worker processes can import it; exceptions are rendered to
     strings here because traceback objects do not cross process boundaries.
     A raising scheduler is a ``scheduler-error``; a schedule that fails
     validation or certification (or is too degenerate to summarize) is
-    ``invalid-schedule``.
+    ``invalid-schedule``.  With ``measure`` (metrics enabled), per-phase
+    durations are captured into :attr:`BatchResult.phases` — two extra
+    clock reads per phase, nothing more.
     """
     from repro.metrics.metrics import speedup as speedup_of
     from repro.schedulers import get_scheduler
 
+    phases: Optional[Dict[str, float]] = {} if measure else None
     t0 = time.perf_counter()
     try:
         if job.graph is None and job.graph_key is not None:
@@ -196,13 +211,18 @@ def _run_job(job: BatchJob, validate: bool, certify: bool = False) -> BatchResul
             # decoded-graph LRU (decodes from shared memory at most once
             # per worker per graph).
             job = replace(job, graph=graphstore.attach(job.graph_key))
+            if phases is not None:
+                phases["attach"] = time.perf_counter() - t0
         scheduler = get_scheduler(job.algo)
+        t_sched = time.perf_counter()
         schedule = scheduler(job.graph, job.procs if job.machine is None else None,
                              machine=job.machine)
+        if phases is not None:
+            phases["schedule"] = time.perf_counter() - t_sched
     except Exception:
         return _failed_result(
             job, time.perf_counter() - t0, traceback.format_exc(limit=8),
-            SCHEDULER_ERROR,
+            SCHEDULER_ERROR, phases=phases,
         )
     try:
         if validate:
@@ -212,7 +232,10 @@ def _run_job(job: BatchJob, validate: bool, certify: bool = False) -> BatchResul
             from repro.verify.certify import certify as certify_schedule
             from repro.verify.certify import greedy_flavor
 
+            t_cert = time.perf_counter()
             cert = certify_schedule(schedule, flavor=greedy_flavor(job.algo))
+            if phases is not None:
+                phases["certify"] = time.perf_counter() - t_cert
             if not cert.ok:
                 detail = "; ".join(
                     f"{v.code} {v.message}" for v in cert.violations[:5]
@@ -224,7 +247,7 @@ def _run_job(job: BatchJob, validate: bool, certify: bool = False) -> BatchResul
                 return _failed_result(
                     job, time.perf_counter() - t0,
                     f"certification failed: {detail}{more}",
-                    INVALID_SCHEDULE,
+                    INVALID_SCHEDULE, phases=phases,
                 )
             certified = True
         return BatchResult(
@@ -238,18 +261,19 @@ def _run_job(job: BatchJob, validate: bool, certify: bool = False) -> BatchResul
             seconds=time.perf_counter() - t0,
             error=None,
             certified=certified,
+            phases=phases,
         )
     except Exception:
         return _failed_result(
             job, time.perf_counter() - t0, traceback.format_exc(limit=8),
-            INVALID_SCHEDULE,
+            INVALID_SCHEDULE, phases=phases,
         )
 
 
 def _run_packed(packed) -> BatchResult:
     """Module-level runner for the worker pool (must be picklable)."""
-    job, validate, certify = packed
-    return _run_job(job, validate, certify)
+    job, validate, certify, measure = packed
+    return _run_job(job, validate, certify, measure)
 
 
 def _cache_key(
@@ -287,12 +311,14 @@ def _cache_key(
 def schedule_many(
     jobs: Iterable[BatchJob],
     workers: Optional[int] = None,
-    timeout: Optional[float] = None,
-    validate: bool = False,
-    certify: bool = False,
+    timeout: Any = UNSET,
+    validate: Any = UNSET,
+    certify: Any = UNSET,
     *,
+    options: Optional[SchedulingOptions] = None,
+    metrics: Optional[MetricsRegistry] = None,
     grace: float = 1.0,
-    retries: int = 2,
+    retries: Any = UNSET,
     backoff: float = 0.1,
     share_graphs: Optional[bool] = None,
     cache: Optional[ResultCache] = None,
@@ -308,6 +334,20 @@ def schedule_many(
     workers:
         Worker process count; ``None`` means ``os.cpu_count()``.  With one
         worker (or one job) everything runs inline in this process.
+    options:
+        A :class:`repro.api.SchedulingOptions` carrying the scheduling
+        semantics (``validate`` / ``certify`` / ``timeout`` / ``retries`` /
+        ``metrics``) — the canonical spelling.  The individual ``timeout``
+        / ``validate`` / ``certify`` / ``retries`` keywords below keep
+        working but are deprecated (one :class:`DeprecationWarning` per
+        call) and cannot be mixed with ``options``.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` to record into (equivalent to
+        ``options.metrics``; this keyword is *not* deprecated).  Enables
+        per-job phase measurement in the workers, supervisor-side batch /
+        worker-pool counters and histograms, and one ``batch.job`` trace
+        event per job.  ``None`` (default) records nothing and skips all
+        instrumentation work.
     timeout:
         Per-job execution budget in seconds, measured from the moment a
         worker starts the job (queue wait never counts).  An overrunning
@@ -371,6 +411,21 @@ def schedule_many(
         One result per job, ``error``/``error_kind`` set for failures —
         never raises for a job-level problem.
     """
+    opts = resolve_options(
+        "schedule_many",
+        options,
+        {"timeout": timeout, "validate": validate,
+         "certify": certify, "retries": retries},
+    )
+    if metrics is not None:
+        opts = opts.replace(metrics=metrics)
+    timeout, validate, certify, retries = (
+        opts.timeout, opts.validate, opts.certify, opts.retries,
+    )
+    reg = opts.metrics
+    measure = reg is not None
+    t_run0 = time.perf_counter()
+
     jobs = list(jobs)
     if workers is None:
         workers = os.cpu_count() or 1
@@ -432,14 +487,14 @@ def schedule_many(
 
     if dispatch and (workers <= 1 or len(dispatch) <= 1):
         for i in dispatch:
-            results[i] = _run_job(jobs[i], validate, certify)
+            results[i] = _run_job(jobs[i], validate, certify, measure)
         stats["inline_graph_jobs"] = len(dispatch)
     elif dispatch:
         outcomes = _dispatch_pool(
             [jobs[i] for i in dispatch], workers, timeout, validate, certify,
             grace=grace, retries=retries, backoff=backoff,
             share_graphs=share_graphs, store=store,
-            fingerprints=fingerprints, stats=stats,
+            fingerprints=fingerprints, stats=stats, metrics=reg,
         )
         for i, res in zip(dispatch, outcomes):
             results[i] = res
@@ -469,7 +524,76 @@ def schedule_many(
 
     if stats_out is not None:
         stats_out.update(stats)
-    return [res for res in results if res is not None]
+    final = [res for res in results if res is not None]
+    if reg is not None:
+        _record_batch_metrics(
+            reg, final, stats, time.perf_counter() - t_run0, cache, store,
+        )
+    return final
+
+
+def _record_batch_metrics(
+    reg: MetricsRegistry,
+    results: Sequence[BatchResult],
+    stats: Dict[str, int],
+    wall_seconds: float,
+    cache: Optional[ResultCache],
+    store: Optional["graphstore.GraphStore"],
+) -> None:
+    """Fold one batch's outcomes into the registry (supervisor side).
+
+    Emits the per-job ``batch.job`` trace events (phase breakdown summing
+    to the job's wall time), the ``batch_*`` counters/histograms, and the
+    graph-plane / result-cache gauges.  Called once per
+    :func:`schedule_many` invocation — never on the per-job hot path.
+    """
+    reg.counter("batch_runs_total").inc()
+    reg.histogram("batch_run_seconds").observe(wall_seconds)
+    if stats.get("keyed_jobs"):
+        reg.counter("batch_dispatch_total", mode="keyed").inc(stats["keyed_jobs"])
+    if stats.get("inline_graph_jobs"):
+        reg.counter("batch_dispatch_total", mode="inline").inc(
+            stats["inline_graph_jobs"]
+        )
+    queue_h = reg.histogram("batch_queue_seconds")
+    exec_h = reg.histogram("batch_exec_seconds")
+    for res in results:
+        status = "ok" if res.ok else (res.error_kind or "error")
+        reg.counter("batch_jobs_total", status=status).inc()
+        if res.cached:
+            reg.counter("batch_jobs_cached_total").inc()
+        queue_h.observe(res.queue_seconds)
+        exec_h.observe(res.seconds)
+        worker_phases = res.phases or {}
+        phases: Dict[str, float] = {"queue": res.queue_seconds}
+        phases.update(worker_phases)
+        phases["other"] = max(0.0, res.seconds - sum(worker_phases.values()))
+        for phase, secs in phases.items():
+            reg.histogram("batch_phase_seconds", phase=phase).observe(secs)
+        wall = res.queue_seconds + res.seconds
+        reg.event(
+            "batch.job", wall,
+            tag=res.tag, algo=res.algo, procs=res.procs, ok=res.ok,
+            error_kind=res.error_kind, cached=res.cached,
+            attempts=res.attempts, wall=wall, phases=phases,
+        )
+    reg.event(
+        "batch.run", wall_seconds,
+        jobs=stats.get("jobs", len(results)),
+        dispatched=stats.get("dispatched", 0),
+        cache_hits=stats.get("cache_hits", 0),
+        coalesced=stats.get("coalesced", 0),
+    )
+    if cache is not None:
+        for key, value in cache.stats().items():
+            reg.gauge(f"resultcache_{key}").set(float(value))
+    if store is not None and not store.closed:
+        for key, value in store.stats().items():
+            reg.gauge(f"graphstore_{key}").set(float(value))
+    elif stats.get("shared_graphs") or stats.get("shared_bytes"):
+        # Ephemeral store (already unlinked): report what it held.
+        reg.gauge("graphstore_graphs").set(float(stats.get("shared_graphs", 0)))
+        reg.gauge("graphstore_bytes").set(float(stats.get("shared_bytes", 0)))
 
 
 def _dispatch_pool(
@@ -486,6 +610,7 @@ def _dispatch_pool(
     store: Optional["graphstore.GraphStore"],
     fingerprints: Dict[int, str],
     stats: Dict[str, int],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[BatchResult]:
     """Fan ``jobs`` across the supervised pool, sharing graphs through the
     graph plane where the policy says so.  Owns (and always unlinks) the
@@ -528,14 +653,16 @@ def _dispatch_pool(
             stats["shared_graphs"] = len(store)
             stats["shared_bytes"] = store.total_bytes()
 
+        measure = metrics is not None
         outcomes = workerpool.run_supervised(
-            [(job, validate, certify) for job in wire],
+            [(job, validate, certify, measure) for job in wire],
             _run_packed,
             workers=min(workers, len(wire)),
             timeout=timeout,
             grace=grace,
             retries=retries,
             backoff=backoff,
+            metrics=metrics,
         )
     finally:
         # Ephemeral registry: guaranteed unlink, even when a worker was
@@ -642,22 +769,31 @@ class BatchScheduler:
     def __init__(
         self,
         workers: Optional[int] = None,
-        timeout: Optional[float] = None,
-        validate: bool = False,
-        certify: bool = False,
+        timeout: Any = UNSET,
+        validate: Any = UNSET,
+        certify: Any = UNSET,
         *,
+        options: Optional[SchedulingOptions] = None,
+        metrics: Union[MetricsRegistry, bool, None] = None,
         grace: float = 1.0,
-        retries: int = 2,
+        retries: Any = UNSET,
         backoff: float = 0.1,
         share_graphs: Optional[bool] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
+        opts = resolve_options(
+            "BatchScheduler",
+            options,
+            {"timeout": timeout, "validate": validate,
+             "certify": certify, "retries": retries},
+        )
+        if isinstance(metrics, MetricsRegistry):
+            opts = opts.replace(metrics=metrics)
+        elif metrics:
+            opts = opts.replace(metrics=MetricsRegistry())
+        self.options = opts
         self.workers = workers
-        self.timeout = timeout
-        self.validate = validate
-        self.certify = certify
         self.grace = grace
-        self.retries = retries
         self.backoff = backoff
         self.share_graphs = share_graphs
         self.store = graphstore.GraphStore()
@@ -666,24 +802,82 @@ class BatchScheduler:
         self._results_seen = 0
         self._failed_seen = 0
 
+    # Legacy attribute views (the pre-SchedulingOptions surface); the
+    # options record is the source of truth.
+    @property
+    def timeout(self) -> Optional[float]:
+        return self.options.timeout
+
+    @timeout.setter
+    def timeout(self, value: Optional[float]) -> None:
+        self.options = self.options.replace(timeout=value)
+
+    @property
+    def validate(self) -> bool:
+        return self.options.validate
+
+    @validate.setter
+    def validate(self, value: bool) -> None:
+        self.options = self.options.replace(validate=value)
+
+    @property
+    def certify(self) -> bool:
+        return self.options.certify
+
+    @certify.setter
+    def certify(self, value: bool) -> None:
+        self.options = self.options.replace(certify=value)
+
+    @property
+    def retries(self) -> int:
+        return self.options.retries
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self.options = self.options.replace(retries=value)
+
     def register(self, graph: TaskGraph) -> str:
         """Publish a graph into the registry; returns the ``graph_key`` for
         :class:`BatchJob` submissions.  Idempotent per graph content."""
         return self.store.register(graph.freeze())
 
-    def run(self, jobs: Iterable[BatchJob]) -> List[BatchResult]:
-        """Schedule one batch through the shared registry and cache."""
+    def metrics(self) -> MetricsRegistry:
+        """The scheduler's :class:`~repro.obs.MetricsRegistry`.
+
+        Returns the registry configured at construction
+        (``metrics=registry`` or ``metrics=True`` or
+        ``options.metrics``).  When none was configured, the first call
+        creates one and **enables** instrumentation for every subsequent
+        :meth:`run` — turn-on-by-asking, so a serving loop can start
+        observing without restarting.
+        """
+        if self.options.metrics is None:
+            self.options = self.options.replace(metrics=MetricsRegistry())
+        return self.options.metrics
+
+    def run(
+        self,
+        jobs: Iterable[BatchJob],
+        options: Optional[SchedulingOptions] = None,
+    ) -> List[BatchResult]:
+        """Schedule one batch through the shared registry and cache.
+
+        ``options`` overrides this scheduler's defaults for one call
+        (e.g. ``bs.run(jobs, options=bs.options.replace(certify=True))``);
+        when it carries no registry, the scheduler's own registry (if any)
+        still records the batch.
+        """
         if self.store.closed:
             raise graphstore.GraphStoreError("BatchScheduler is closed")
+        opts = options if options is not None else self.options
+        if opts.metrics is None and self.options.metrics is not None:
+            opts = opts.replace(metrics=self.options.metrics)
         per_run: Dict[str, int] = {}
         results = schedule_many(
             jobs,
             workers=self.workers,
-            timeout=self.timeout,
-            validate=self.validate,
-            certify=self.certify,
+            options=opts,
             grace=self.grace,
-            retries=self.retries,
             backoff=self.backoff,
             share_graphs=self.share_graphs,
             cache=self.cache,

@@ -70,6 +70,7 @@ def run_sweep(
     instances = list(instances)
 
     if workers > 1 and not measure_time:
+        from repro.api import SchedulingOptions
         from repro.batch import BatchJob, schedule_many
 
         jobs = []
@@ -83,7 +84,8 @@ def run_sweep(
                     )
                     meta.append(inst)
         results = schedule_many(
-            jobs, workers=workers, timeout=timeout, validate=validate,
+            jobs, workers=workers,
+            options=SchedulingOptions(timeout=timeout, validate=validate),
             cache=result_cache,
         )
         records = []

@@ -8,7 +8,15 @@ Subcommands::
     trace       print the FLB execution trace (Table 1 format)
     lint        statically analyse a task graph (rule codes G001..)
     certify     schedule, then independently verify the result (S/F codes)
+    batch       schedule many jobs across supervised worker processes
+    report      render a human summary from a --trace-out JSONL trace
     experiment  regenerate the paper's tables/figures and the ablations
+
+Observability flags are spelled the same everywhere they appear
+(``batch``, ``lint``, ``certify``, ``report``): ``--json`` switches the
+report to machine-readable JSON, ``--metrics-out FILE`` writes Prometheus
+text exposition, ``--trace-out FILE`` writes the JSONL event trace, and
+``--stats`` prints run counters.  See docs/observability.md.
 
 Examples::
 
@@ -123,6 +131,34 @@ def _add_workload_args(parser: argparse.ArgumentParser, with_graph: bool = True)
     parser.add_argument("--seed", type=int, default=0, help="weight RNG seed")
 
 
+def _add_obs_args(
+    parser: argparse.ArgumentParser,
+    json_help: str,
+    trace: bool = False,
+) -> None:
+    """The shared observability flag set: spelled identically everywhere.
+
+    Hidden aliases (``--json-out``, ``--metrics``, ``--trace``) keep the
+    pre-unification spellings parsing; they share a dest with the
+    canonical flag and never show in ``--help``.
+    """
+    parser.add_argument("--json", action="store_true", dest="json_out",
+                        help=json_help)
+    parser.add_argument("--json-out", action="store_true", dest="json_out",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write Prometheus text exposition of the run's "
+                        "metrics to FILE (enables instrumentation)")
+    parser.add_argument("--metrics", metavar="FILE", dest="metrics_out",
+                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    if trace:
+        parser.add_argument("--trace-out", metavar="FILE", default=None,
+                            help="write the JSONL event trace to FILE "
+                            "(render it with `repro-sched report FILE`)")
+        parser.add_argument("--trace", metavar="FILE", dest="trace_out",
+                            default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sched",
@@ -156,8 +192,9 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="statically analyse a task graph before scheduling"
     )
     _add_workload_args(p_lint)
-    p_lint.add_argument("--json", action="store_true", dest="json_out",
-                        help="emit the report as JSON")
+    _add_obs_args(p_lint, json_help="emit the report as JSON")
+    p_lint.add_argument("--stats", action="store_true",
+                        help="print lint latency and per-rule-code counts")
     p_lint.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
 
@@ -167,8 +204,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_cert)
     p_cert.add_argument("--procs", type=int, default=4)
     p_cert.add_argument("--algo", choices=sorted(SCHEDULERS), default="flb")
-    p_cert.add_argument("--json", action="store_true", dest="json_out",
-                        help="emit the certificate as JSON")
+    _add_obs_args(p_cert, json_help="emit the certificate as JSON")
+    p_cert.add_argument("--stats", action="store_true",
+                        help="print certify latency and per-check-code counts")
 
     p_exec = sub.add_parser(
         "execute", help="schedule, then re-execute under perturbation/contention"
@@ -239,6 +277,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--stats", action="store_true",
                          help="print graph-plane and result-cache counters "
                          "after the batch")
+    _add_obs_args(p_batch, json_help="emit the per-job results as JSON",
+                  trace=True)
+
+    p_report = sub.add_parser(
+        "report", help="render a human summary from a --trace-out JSONL trace"
+    )
+    p_report.add_argument("trace", help="JSONL trace file written by "
+                          "--trace-out (or MetricsRegistry.write_trace)")
+    p_report.add_argument("--json", action="store_true", dest="json_out",
+                          help="emit the summary as JSON instead of tables")
+    p_report.add_argument("--json-out", action="store_true", dest="json_out",
+                          help=argparse.SUPPRESS)
 
     return parser
 
@@ -349,15 +399,39 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _obs_registry(args):
+    """A registry when any observability output was requested, else None."""
+    if getattr(args, "metrics_out", None) or getattr(args, "trace_out", None):
+        from repro.obs import MetricsRegistry
+
+        return MetricsRegistry()
+    return None
+
+
+def _write_obs(reg, args) -> None:
+    """Flush a registry to the requested --metrics-out / --trace-out files."""
+    if reg is None:
+        return
+    if getattr(args, "metrics_out", None):
+        reg.write_prometheus(args.metrics_out)
+        print(f"(metrics written to {args.metrics_out})", file=sys.stderr)
+    if getattr(args, "trace_out", None):
+        reg.write_trace(args.trace_out)
+        print(f"(trace written to {args.trace_out})", file=sys.stderr)
+
+
 def _cmd_lint(args) -> int:
     """Exit codes: 0 = clean (modulo --strict), 1 = findings, 2 = unreadable."""
     import json as _json
+    import time as _time
     from pathlib import Path
 
     from repro.exceptions import GraphError
     from repro.graph.io import raw_graph_data
     from repro.verify import lint, lint_data
 
+    reg = _obs_registry(args)
+    t0 = _time.perf_counter()
     if getattr(args, "graph", None):
         # Parse the document tolerantly: a graph from_json would reject
         # (duplicate edges, bad weights, cycles) should be *linted*, with
@@ -370,22 +444,54 @@ def _cmd_lint(args) -> int:
         report = lint_data(comps, edges, names)
     else:
         report = lint(_build_problem(args.problem, args.tasks, args.ccr, args.seed))
+    elapsed = _time.perf_counter() - t0
+    codes: dict = {}
+    for code in report.codes():
+        codes[code] = codes.get(code, 0) + 1
+    if reg is not None:
+        reg.histogram("verify_lint_seconds").observe(elapsed)
+        reg.counter("verify_lint_total").inc()
+        for code, count in codes.items():
+            reg.counter("verify_rule_hits_total", code=code).inc(count)
+        reg.event("verify.lint", elapsed, tasks=report.num_tasks,
+                  ok=report.ok(strict=args.strict))
     if args.json_out:
         print(_json.dumps(report.to_dict(strict=args.strict), indent=2))
     else:
         print(report.render())
+    if args.stats:
+        counts = " ".join(f"{c}={n}" for c, n in sorted(codes.items())) or "none"
+        print(f"lint: {elapsed * 1e3:.2f} ms, rule hits: {counts}")
+    _write_obs(reg, args)
     return 0 if report.ok(strict=args.strict) else 1
 
 
 def _cmd_certify(args) -> int:
     """Exit codes: 0 = certificate valid, 1 = violations found."""
     import json as _json
+    import time as _time
 
     from repro.verify import certify, greedy_flavor
 
     graph = _resolve_graph(args)
+    reg = _obs_registry(args)
+    t_sched = _time.perf_counter()
     schedule = SCHEDULERS[args.algo](graph, args.procs)
+    t0 = _time.perf_counter()
     cert = certify(schedule, flavor=greedy_flavor(args.algo))
+    elapsed = _time.perf_counter() - t0
+    codes: dict = {}
+    for code in cert.codes():
+        codes[code] = codes.get(code, 0) + 1
+    if reg is not None:
+        reg.histogram("sched_kernel_seconds", algo=args.algo).observe(t0 - t_sched)
+        reg.histogram("verify_certify_seconds").observe(elapsed)
+        reg.counter("verify_certify_total",
+                    ok="true" if cert.ok else "false").inc()
+        for code, count in codes.items():
+            reg.counter("verify_rule_hits_total", code=code).inc(count)
+        reg.event("verify.certify", elapsed, algo=args.algo,
+                  procs=args.procs, ok=cert.ok)
     if args.json_out:
         doc = cert.to_dict()
         doc["algo"] = args.algo
@@ -393,6 +499,10 @@ def _cmd_certify(args) -> int:
     else:
         print(f"{args.algo} on P={args.procs}:")
         print(cert.render())
+    if args.stats:
+        counts = " ".join(f"{c}={n}" for c, n in sorted(codes.items())) or "none"
+        print(f"certify: {elapsed * 1e3:.2f} ms, violations: {counts}")
+    _write_obs(reg, args)
     return 0 if cert.ok else 1
 
 
@@ -434,6 +544,7 @@ def _cmd_batch(args) -> int:
     failure (timeout / worker-died), which takes precedence over 1."""
     import time as _time
 
+    from repro.api import SchedulingOptions
     from repro.batch import (
         TIMEOUT,
         WORKER_DIED,
@@ -452,10 +563,14 @@ def _cmd_batch(args) -> int:
                         BatchJob(graph=graph, procs=procs, algo=algo,
                                  tag=f"{problem}/s{seed}")
                     )
+    reg = _obs_registry(args)
+    options = SchedulingOptions(
+        timeout=args.timeout, validate=args.validate, certify=args.certify,
+        retries=args.retries, metrics=reg,
+    )
     with BatchScheduler(
-        workers=args.workers, timeout=args.timeout, validate=args.validate,
-        certify=args.certify,
-        grace=args.grace, retries=args.retries, backoff=args.backoff,
+        workers=args.workers, options=options,
+        grace=args.grace, backoff=args.backoff,
         share_graphs=False if args.no_share else None,
         cache_size=max(0, args.cache_size),
     ) as scheduler:
@@ -463,6 +578,16 @@ def _cmd_batch(args) -> int:
         results = scheduler.run(jobs)
         wall = _time.perf_counter() - t0
         stats = scheduler.stats()
+    if args.json_out:
+        import dataclasses as _dataclasses
+        import json as _json
+
+        print(_json.dumps([_dataclasses.asdict(r) for r in results], indent=2))
+        _write_obs(reg, args)
+        infra = sum(1 for r in results
+                    if r.error_kind in (TIMEOUT, WORKER_DIED))
+        failed = sum(1 for r in results if not r.ok)
+        return 2 if infra else (1 if failed else 0)
     rows = []
     failures = 0
     infrastructure = 0
@@ -509,9 +634,28 @@ def _cmd_batch(args) -> int:
             f"{stats.get('cache_evictions', 0)} eviction(s), "
             f"size {stats.get('cache_size', 0)}/{stats.get('cache_capacity', 0)}"
         )
+    _write_obs(reg, args)
     if infrastructure:
         return 2
     return 1 if failures else 0
+
+
+def _cmd_report(args) -> int:
+    """Exit codes: 0 = trace summarised, 2 = unreadable/invalid trace."""
+    import json as _json
+
+    from repro.obs import read_trace, render_report, summarize_trace
+
+    try:
+        events = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if args.json_out:
+        print(_json.dumps(summarize_trace(events), indent=2, sort_keys=True))
+    else:
+        print(render_report(events))
+    return 0
 
 
 _COMMANDS = {
@@ -523,6 +667,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "lint": _cmd_lint,
     "certify": _cmd_certify,
+    "report": _cmd_report,
     "execute": _cmd_execute,
     "experiment": _cmd_experiment,
 }

@@ -91,6 +91,17 @@ class FlbLists:
         """
         return self._num_ready
 
+    @property
+    def heap_ops(self) -> int:
+        """Total ``O(log n)`` heap mutations across the five priority
+        structures so far — the operation count FLB's
+        ``O(V (log W + log P) + E)`` bound charges.  Read per iteration by
+        :class:`repro.obs.KernelMetricsObserver`."""
+        total = self._non_ep.ops + self._active.ops + self._all_procs.ops
+        total += sum(h.ops for h in self._emt_ep)
+        total += sum(h.ops for h in self._lmt_ep)
+        return total
+
     def best_ep_candidate(self) -> Optional[Tuple[int, int, float]]:
         """``(task, proc, est)`` for case (a): the EP task with minimum
         ``EST(t, EP(t))``, or ``None`` if there is no EP task."""

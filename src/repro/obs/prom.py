@@ -1,0 +1,134 @@
+"""Prometheus text-exposition rendering for :class:`~repro.obs.MetricsRegistry`.
+
+Implements the plain-text exposition format (version 0.0.4) without any
+client-library dependency: ``# TYPE`` headers, label escaping, cumulative
+histogram buckets with ``le`` labels (including ``+Inf``), and ``_sum`` /
+``_count`` series.  Every metric is namespaced under ``repro_`` and name
+dots are flattened to underscores, so a registry metric ``batch.run_seconds``
+exposes as ``repro_batch_run_seconds``.
+
+:func:`parse_prometheus` is the inverse used by the test suite and the perf
+smoke to check that emitted files are well-formed; it is a validator for
+this module's output, not a general exposition parser.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render_prometheus", "parse_prometheus", "NAMESPACE"]
+
+#: Prefix applied to every exposed metric name.
+NAMESPACE = "repro_"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _expose_name(name: str) -> str:
+    flat = NAMESPACE + name.replace(".", "_")
+    if not _NAME_RE.match(flat):
+        raise ValueError(f"metric name {name!r} is not exposable")
+    return flat
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(pairs: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in pairs]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """Render every instrument in ``registry`` as exposition text."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        elif typed[name] != kind:
+            raise ValueError(
+                f"metric {name!r} registered as both {typed[name]} and {kind}"
+            )
+
+    for counter in sorted(registry.counters(), key=lambda c: (c.name, c.labels)):
+        name = _expose_name(counter.name)
+        header(name, "counter")
+        lines.append(f"{name}{_labels(counter.labels)} {_fmt(counter.value)}")
+    for gauge in sorted(registry.gauges(), key=lambda g: (g.name, g.labels)):
+        name = _expose_name(gauge.name)
+        header(name, "gauge")
+        lines.append(f"{name}{_labels(gauge.labels)} {_fmt(gauge.value)}")
+    for hist in sorted(registry.histograms(), key=lambda h: (h.name, h.labels)):
+        name = _expose_name(hist.name)
+        header(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.counts):
+            cumulative += count
+            le = 'le="' + _fmt(bound) + '"'
+            lines.append(f"{name}_bucket{_labels(hist.labels, le)} {cumulative}")
+        cumulative += hist.counts[-1]
+        inf = 'le="+Inf"'
+        lines.append(f"{name}_bucket{_labels(hist.labels, inf)} {cumulative}")
+        lines.append(f"{name}_sum{_labels(hist.labels)} {_fmt(hist.sum)}")
+        lines.append(f"{name}_count{_labels(hist.labels)} {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition text back to ``{'name{labels}': value}``.
+
+    Raises ``ValueError`` on any malformed line — the validator half of the
+    round-trip contract with :func:`render_prometheus`.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if not (line.startswith("# TYPE ") or line.startswith("# HELP ")):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        raw = m.group("labels")
+        if raw:
+            matched = _LABEL_RE.findall(raw)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in matched)
+            if rebuilt != raw:
+                raise ValueError(f"line {lineno}: malformed labels {raw!r}")
+        value = m.group("value")
+        if value == "+Inf":
+            parsed = math.inf
+        elif value == "-Inf":
+            parsed = -math.inf
+        else:
+            parsed = float(value)  # raises ValueError on garbage
+        key = m.group("name") + ("{" + raw + "}" if raw else "")
+        samples[key] = parsed
+    return samples

@@ -1,0 +1,73 @@
+"""Structured trace files: JSONL read/validate helpers.
+
+The write side lives on :meth:`repro.obs.MetricsRegistry.write_trace`; this
+module is the read side used by ``repro-sched report`` and the test suite.
+
+Trace schema (one JSON object per line)::
+
+    {"name": "batch.job",          # event/span name, dot-separated
+     "ts":   1754462000.123,       # wall-clock completion time (epoch s)
+     "dur":  0.0123,               # duration in seconds
+     "attrs": {...}}               # free-form attributes
+
+``batch.job`` events additionally carry, in ``attrs``: ``tag``, ``algo``,
+``procs``, ``ok``, ``error_kind``, ``cached``, ``attempts``, ``wall`` (the
+job's total wall time, queue + execution) and ``phases`` — a mapping of
+phase name to seconds whose values sum to ``wall`` (up to float rounding).
+The canonical phase names are ``queue``, ``attach``, ``schedule``,
+``certify`` and ``other`` (dispatch/reply overhead, computed as the
+residual); see docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = ["read_trace", "validate_event", "JOB_EVENT", "PHASE_NAMES"]
+
+#: Name of the per-job trace event emitted by the batch plane.
+JOB_EVENT = "batch.job"
+
+#: Canonical per-job phase names, in pipeline order.
+PHASE_NAMES = ("queue", "attach", "schedule", "certify", "other")
+
+
+def validate_event(event: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``event`` matches the trace schema."""
+    for field in ("name", "ts", "dur"):
+        if field not in event:
+            raise ValueError(f"trace event missing {field!r}: {event!r}")
+    if not isinstance(event["name"], str):
+        raise ValueError(f"trace event name must be a string: {event!r}")
+    for field in ("ts", "dur"):
+        if not isinstance(event[field], (int, float)) or isinstance(event[field], bool):
+            raise ValueError(f"trace event field {field!r} must be a number: {event!r}")
+    attrs = event.get("attrs", {})
+    if not isinstance(attrs, dict):
+        raise ValueError(f"trace event attrs must be a mapping: {event!r}")
+    if event["name"] == JOB_EVENT:
+        phases = attrs.get("phases", {})
+        if not isinstance(phases, dict) or not all(
+            isinstance(v, (int, float)) for v in phases.values()
+        ):
+            raise ValueError(f"batch.job phases must map names to seconds: {event!r}")
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load and validate a JSONL trace file written by
+    :meth:`~repro.obs.MetricsRegistry.write_trace`."""
+    events: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(event, dict):
+                raise ValueError(f"{path}:{lineno}: event must be an object")
+            validate_event(event)
+            events.append(event)
+    return events

@@ -43,7 +43,10 @@ import traceback
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
-from typing import Any, Callable, Deque, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "TaskOutcome",
@@ -145,6 +148,7 @@ def run_supervised(
     grace: float = 1.0,
     retries: int = 2,
     backoff: float = 0.1,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> List[TaskOutcome]:
     """Run ``runner(item)`` for every item across supervised workers.
 
@@ -172,6 +176,13 @@ def run_supervised(
     backoff:
         Base delay before a retry; doubles per failed attempt
         (``backoff * 2**(attempt-1)``).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; when set, the pool
+        records ``workerpool_spawned_total``, ``workerpool_outcomes_total
+        {kind=...}``, ``workerpool_deaths_total`` / ``workerpool_retries_total``
+        / ``workerpool_sigkills_total``, and the ``workerpool_exec_seconds``
+        / ``workerpool_queue_seconds`` histograms.  ``None`` (default)
+        records nothing.
 
     Returns
     -------
@@ -212,6 +223,8 @@ def run_supervised(
     pool: List[_Worker] = []
 
     def spawn() -> None:
+        if metrics is not None:
+            metrics.counter("workerpool_spawned_total").inc()
         parent_conn, child_conn = ctx.Pipe()
         try:
             proc = ctx.Process(
@@ -231,6 +244,16 @@ def run_supervised(
         if outcomes[index] is None:
             outcomes[index] = outcome
             remaining -= 1
+            if metrics is not None:
+                metrics.counter(
+                    "workerpool_outcomes_total", kind=outcome.kind
+                ).inc()
+                metrics.histogram("workerpool_exec_seconds").observe(
+                    outcome.seconds
+                )
+                metrics.histogram("workerpool_queue_seconds").observe(
+                    outcome.queue_seconds
+                )
 
     def retire(worker: _Worker, kill: bool) -> None:
         if worker in pool:
@@ -291,9 +314,13 @@ def run_supervised(
         a = worker.assignment
         worker.assignment = None
         retire(worker, kill=False)
+        if metrics is not None:
+            metrics.counter("workerpool_deaths_total").inc()
         if a is not None and outcomes[a.index] is None:
             t = time.monotonic()
             if a.attempt <= retries:
+                if metrics is not None:
+                    metrics.counter("workerpool_retries_total").inc()
                 due = t + backoff * (2 ** (a.attempt - 1))
                 heapq.heappush(delayed, (due, a.index, a.attempt + 1))
             else:
@@ -421,6 +448,8 @@ def run_supervised(
                         attempts=a.attempt,
                     ))
                     worker.assignment = None
+                    if metrics is not None:
+                        metrics.counter("workerpool_sigkills_total").inc()
                     retire(worker, kill=True)
                     if work_waiting() and len(pool) < nworkers:
                         spawn()

@@ -1,0 +1,209 @@
+"""The unified :class:`repro.SchedulingOptions` record and its
+deprecation shims: legacy keywords must warn exactly once per call and
+produce bit-identical schedules, all three entry points must accept the
+same options object, and mixing the two styles must be rejected."""
+
+import warnings
+
+import pytest
+
+from repro import BatchScheduler, MetricsRegistry, SchedulingOptions, schedule_graph
+from repro.batch import BatchJob, schedule_many
+from repro.util.rng import make_rng
+from repro.workloads import lu, stencil
+
+
+@pytest.fixture
+def graph():
+    return lu(6, make_rng(0), ccr=1.0)
+
+
+class TestSchedulingOptions:
+    def test_defaults(self):
+        opts = SchedulingOptions()
+        assert opts.procs is None
+        assert opts.algorithm == "flb"
+        assert opts.validate is False
+        assert opts.certify is False
+        assert opts.timeout is None
+        assert opts.retries == 2
+        assert opts.metrics is None
+
+    def test_frozen(self):
+        opts = SchedulingOptions()
+        with pytest.raises(AttributeError):
+            opts.procs = 4
+
+    def test_replace(self):
+        opts = SchedulingOptions(procs=4)
+        other = opts.replace(algorithm="etf", certify=True)
+        assert (other.procs, other.algorithm, other.certify) == (4, "etf", True)
+        assert opts.algorithm == "flb"  # original untouched
+
+    @pytest.mark.parametrize("bad", [
+        {"procs": 0},
+        {"procs": -1},
+        {"timeout": 0.0},
+        {"timeout": -1.0},
+        {"retries": -1},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            SchedulingOptions(**bad)
+
+
+class TestScheduleGraph:
+    def test_options_positional_and_keyword_agree(self, graph):
+        opts = SchedulingOptions(procs=4, algorithm="etf")
+        a = schedule_graph(graph, opts)
+        b = schedule_graph(graph, options=opts)
+        assert a.makespan == b.makespan
+
+    def test_legacy_kwargs_warn_exactly_once(self, graph):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            schedule_graph(graph, 4, algorithm="etf")
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "SchedulingOptions" in str(deprecations[0].message)
+
+    def test_legacy_is_bit_identical(self, graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = schedule_graph(graph, 4, algorithm="mcp")
+        modern = schedule_graph(graph, SchedulingOptions(procs=4, algorithm="mcp"))
+        assert legacy.makespan == modern.makespan
+        for task in range(graph.num_tasks):
+            assert legacy.proc_of(task) == modern.proc_of(task)
+            assert legacy.start_of(task) == modern.start_of(task)
+
+    def test_no_warning_for_options_form(self, graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            schedule_graph(graph, SchedulingOptions(procs=4))
+
+    def test_mixing_styles_raises(self, graph):
+        with pytest.raises(TypeError):
+            schedule_graph(graph, 4, options=SchedulingOptions(procs=4))
+        with pytest.raises(TypeError):
+            schedule_graph(graph, SchedulingOptions(procs=4),
+                           options=SchedulingOptions(procs=4))
+
+    def test_validate_and_certify(self, graph):
+        s = schedule_graph(graph, SchedulingOptions(procs=4, certify=True))
+        assert s.makespan > 0
+
+    def test_metrics_records_kernel_span(self, graph):
+        reg = MetricsRegistry()
+        schedule_graph(graph, SchedulingOptions(procs=4, metrics=reg,
+                                                certify=True))
+        names = [e["name"] for e in reg.events]
+        assert names == ["sched.kernel", "verify.certify"]
+        assert reg.histogram("sched_kernel_seconds").count == 1
+        kernel = reg.events[0]["attrs"]
+        assert kernel["tasks"] == graph.num_tasks
+        assert kernel["makespan"] > 0
+
+
+class TestScheduleMany:
+    def test_accepts_options(self, graph):
+        jobs = [BatchJob(graph=graph, procs=2), BatchJob(graph=graph, procs=4)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            results = schedule_many(jobs, workers=1,
+                                    options=SchedulingOptions(validate=True))
+        assert all(r.ok for r in results)
+
+    def test_legacy_kwargs_warn_once_and_match(self, graph):
+        jobs = [BatchJob(graph=graph, procs=3)]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = schedule_many(jobs, workers=1, timeout=30.0, validate=True)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        modern = schedule_many(
+            jobs, workers=1,
+            options=SchedulingOptions(timeout=30.0, validate=True),
+        )
+        assert legacy[0].makespan == modern[0].makespan
+
+    def test_mixing_styles_raises(self, graph):
+        with pytest.raises(TypeError):
+            schedule_many([BatchJob(graph=graph, procs=2)], timeout=1.0,
+                          options=SchedulingOptions())
+
+    def test_metrics_kwarg_is_not_deprecated(self, graph):
+        reg = MetricsRegistry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            schedule_many([BatchJob(graph=graph, procs=2)], metrics=reg)
+        assert reg.total("batch_jobs_total") == 1
+
+
+class TestBatchScheduler:
+    def test_accepts_options(self, graph):
+        opts = SchedulingOptions(timeout=30.0, validate=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with BatchScheduler(workers=1, options=opts) as bs:
+                results = bs.run([BatchJob(graph=graph, procs=2)])
+        assert results[0].ok
+
+    def test_legacy_ctor_warns_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            bs = BatchScheduler(workers=1, timeout=30.0, validate=True)
+            bs.close()
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+
+    def test_legacy_properties_view_options(self):
+        with BatchScheduler(workers=1,
+                            options=SchedulingOptions(timeout=7.0)) as bs:
+            assert bs.timeout == 7.0
+            assert bs.validate is False
+            bs.validate = True
+            assert bs.options.validate is True
+            bs.retries = 0
+            assert bs.options.retries == 0
+
+    def test_per_run_options_override(self, graph):
+        with BatchScheduler(workers=1) as bs:
+            results = bs.run(
+                [BatchJob(graph=graph, procs=2)],
+                options=SchedulingOptions(certify=True),
+            )
+            assert results[0].ok and results[0].certified
+
+    def test_mixing_ctor_styles_raises(self):
+        with pytest.raises(TypeError):
+            BatchScheduler(workers=1, timeout=1.0, options=SchedulingOptions())
+
+    def test_metrics_method_enables_and_returns_registry(self, graph):
+        with BatchScheduler(workers=1) as bs:
+            reg = bs.metrics()
+            assert isinstance(reg, MetricsRegistry)
+            assert bs.metrics() is reg  # stable across calls
+            bs.run([BatchJob(graph=graph, procs=2)])
+            assert reg.total("batch_jobs_total") == 1
+
+    def test_metrics_true_creates_registry(self, graph):
+        with BatchScheduler(workers=1, metrics=True) as bs:
+            bs.run([BatchJob(graph=graph, procs=2)])
+            assert bs.metrics().total("batch_jobs_total") == 1
+
+    def test_metrics_registry_passed_in(self, graph):
+        reg = MetricsRegistry()
+        with BatchScheduler(workers=1, metrics=reg) as bs:
+            assert bs.metrics() is reg
+
+
+class TestCrossEntryPointAgreement:
+    def test_same_options_same_schedule(self):
+        graph = stencil(5, 4, make_rng(3), ccr=0.5)
+        opts = SchedulingOptions(procs=4, algorithm="flb")
+        direct = schedule_graph(graph, opts)
+        (via_many,) = schedule_many([BatchJob(graph=graph, procs=4)], workers=1)
+        with BatchScheduler(workers=1) as bs:
+            (via_bs,) = bs.run([BatchJob(graph=graph, procs=4)])
+        assert direct.makespan == via_many.makespan == via_bs.makespan

@@ -10,9 +10,10 @@ export PYTHONPATH=src
 
 # Equivalence + 2x-over-seed floor at smoke scale (REPRO_BENCH_TASKS=300),
 # plus the batch graph-plane floors: keyed dispatch >= inline throughput with
-# bit-identical summaries, and keyed+cache serving >= 2x the inline path.
+# bit-identical summaries, and keyed+cache serving >= 2x the inline path,
+# plus the observability budget: metrics-enabled runs within 5% of disabled.
 python -m pytest -m perfgate -q benchmarks/bench_throughput.py tests/test_perf_gate.py \
-    tests/test_batch_graphplane.py -p no:cacheprovider
+    tests/test_batch_graphplane.py tests/test_obs_overhead.py -p no:cacheprovider
 
 # Throughput gate at smoke scale against the stored full-scale baseline.
 # Smoke graphs are ~7x smaller than the baseline's, so per-task overheads
@@ -32,5 +33,29 @@ if [ "${REPRO_SMOKE_CERTIFY:-0}" = "1" ]; then
     done
     echo "perf smoke certification OK"
 fi
+
+# Metrics-enabled batch through the CLI: the emitted Prometheus text and
+# JSONL trace must be well-formed (parse_prometheus/read_trace raise on any
+# malformed output), and the trace must render through `repro-sched report`.
+# Artifacts land in results/ so CI can upload them.
+mkdir -p results
+python -m repro.cli batch --problems lu stencil --procs 4 8 --algos flb fcp \
+    --tasks 300 --workers 2 \
+    --metrics-out results/metrics.prom --trace-out results/trace.jsonl
+python - <<'EOF'
+from repro.obs import parse_prometheus, read_trace
+
+samples = parse_prometheus(open("results/metrics.prom").read())
+assert samples.get('repro_batch_jobs_total{status="ok"}', 0) >= 8, samples
+events = read_trace("results/trace.jsonl")
+jobs = [e for e in events if e["name"] == "batch.job"]
+assert len(jobs) >= 8, len(jobs)
+for e in jobs:
+    a = e["attrs"]
+    drift = abs(sum(a["phases"].values()) - a["wall"])
+    assert drift < 1e-6, (a["tag"], drift)
+print(f"observability smoke OK: {len(samples)} samples, {len(jobs)} job events")
+EOF
+python -m repro.cli report results/trace.jsonl > /dev/null
 
 echo "perf smoke OK"
