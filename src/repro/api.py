@@ -32,6 +32,12 @@ Fields (see each entry point for which ones it consumes):
   retries; batch-only (an in-process call cannot be contained).
 * ``metrics`` — a :class:`repro.obs.MetricsRegistry` to record into;
   ``None`` (default) disables all instrumentation.
+* ``kernel`` — which FLB implementation serves the request: ``"auto"``
+  (default; numba when importable, array otherwise), ``"array"``
+  (NumPy state vectors, interpreted), ``"numba"`` (njit-compiled) or
+  ``"object"`` (the reference heap scheduler).  The ``REPRO_KERNEL``
+  environment variable overrides this field; non-FLB algorithms ignore
+  it.  See :mod:`repro.core.flb_array`.
 """
 
 from __future__ import annotations
@@ -84,6 +90,7 @@ class SchedulingOptions:
     timeout: Optional[float] = None
     retries: int = 2
     metrics: Optional[MetricsRegistry] = None
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.procs is not None and self.procs < 1:
@@ -92,6 +99,13 @@ class SchedulingOptions:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
+        from repro.core.flb_array import KERNEL_CHOICES, KernelSelectionError
+
+        if self.kernel not in KERNEL_CHOICES:
+            raise KernelSelectionError(
+                f"unknown scheduling kernel kernel={self.kernel!r}; valid "
+                f"values: {', '.join(KERNEL_CHOICES)}"
+            )
 
     def replace(self, **changes: Any) -> "SchedulingOptions":
         """A copy with ``changes`` applied (frozen dataclasses are immutable)."""
@@ -178,18 +192,45 @@ def schedule_graph(
             "algorithm": algorithm,
         },
     )
-    scheduler = get_scheduler(opts.algorithm)
     metrics = opts.metrics
+    kernel = "object"
+    if opts.algorithm == "flb" and "observer" not in kwargs:
+        # Observers need the instrumented object scheduler, and a registry
+        # override of "flb" must win; everything else is eligible for the
+        # array-native kernel.
+        from repro.core.flb_array import resolve_kernel, stock_flb_registered
+
+        if stock_flb_registered():
+            kernel = resolve_kernel(opts.kernel)
+    if kernel != "object":
+        from repro.core.flb_array import flb_array
+
+        def _run() -> "Schedule":
+            return flb_array(
+                graph,
+                opts.procs,
+                machine=machine,
+                backend=kernel,
+                metrics=metrics,
+                **kwargs,
+            )
+
+    else:
+        scheduler = get_scheduler(opts.algorithm)
+
+        def _run() -> "Schedule":
+            return scheduler(graph, opts.procs, machine=machine, **kwargs)
+
     if metrics is not None:
-        with metrics.span("sched.kernel", algo=opts.algorithm) as s:
-            schedule = scheduler(graph, opts.procs, machine=machine, **kwargs)
+        with metrics.span("sched.kernel", algo=opts.algorithm, kernel=kernel) as s:
+            schedule = _run()
             s.annotate(
                 procs=schedule.num_procs,
                 tasks=graph.num_tasks,
                 makespan=schedule.makespan,
             )
     else:
-        schedule = scheduler(graph, opts.procs, machine=machine, **kwargs)
+        schedule = _run()
     if opts.validate and not opts.certify:
         schedule.validate()
     if opts.certify:

@@ -137,7 +137,9 @@ class BatchResult:
     ``schedule`` / ``certify``), populated only when the batch ran with
     metrics enabled; the observability plane adds ``queue`` and the
     dispatch/reply residual (``other``) supervisor-side (see
-    docs/observability.md).
+    docs/observability.md).  ``kernel`` names the FLB backend that served
+    the job (``object`` / ``array`` / ``numba``; always ``object`` for
+    non-FLB algorithms and for failed or cached results).
     """
 
     tag: str
@@ -155,6 +157,7 @@ class BatchResult:
     cached: bool = False
     certified: bool = False
     phases: Optional[Dict[str, float]] = None
+    kernel: str = "object"
 
     @property
     def ok(self) -> bool:
@@ -188,7 +191,11 @@ def _failed_result(
 
 
 def _run_job(
-    job: BatchJob, validate: bool, certify: bool = False, measure: bool = False
+    job: BatchJob,
+    validate: bool,
+    certify: bool = False,
+    measure: bool = False,
+    kernel: str = "auto",
 ) -> BatchResult:
     """Worker body: schedule one job, mapping any failure to ``error``.
 
@@ -213,10 +220,23 @@ def _run_job(
             job = replace(job, graph=graphstore.attach(job.graph_key))
             if phases is not None:
                 phases["attach"] = time.perf_counter() - t0
-        scheduler = get_scheduler(job.algo)
+        resolved = "object"
+        if job.algo == "flb":
+            from repro.core.flb_array import resolve_kernel, stock_flb_registered
+
+            if stock_flb_registered():
+                resolved = resolve_kernel(kernel)
+        procs = job.procs if job.machine is None else None
         t_sched = time.perf_counter()
-        schedule = scheduler(job.graph, job.procs if job.machine is None else None,
-                             machine=job.machine)
+        if resolved != "object":
+            from repro.core.flb_array import flb_array
+
+            schedule = flb_array(
+                job.graph, procs, machine=job.machine, backend=resolved
+            )
+        else:
+            scheduler = get_scheduler(job.algo)
+            schedule = scheduler(job.graph, procs, machine=job.machine)
         if phases is not None:
             phases["schedule"] = time.perf_counter() - t_sched
     except Exception:
@@ -262,6 +282,7 @@ def _run_job(
             error=None,
             certified=certified,
             phases=phases,
+            kernel=resolved,
         )
     except Exception:
         return _failed_result(
@@ -272,8 +293,8 @@ def _run_job(
 
 def _run_packed(packed) -> BatchResult:
     """Module-level runner for the worker pool (must be picklable)."""
-    job, validate, certify, measure = packed
-    return _run_job(job, validate, certify, measure)
+    job, validate, certify, measure, kernel = packed
+    return _run_job(job, validate, certify, measure, kernel)
 
 
 def _cache_key(
@@ -423,6 +444,7 @@ def schedule_many(
         opts.timeout, opts.validate, opts.certify, opts.retries,
     )
     reg = opts.metrics
+    kernel = opts.kernel
     measure = reg is not None
     t_run0 = time.perf_counter()
 
@@ -487,7 +509,7 @@ def schedule_many(
 
     if dispatch and (workers <= 1 or len(dispatch) <= 1):
         for i in dispatch:
-            results[i] = _run_job(jobs[i], validate, certify, measure)
+            results[i] = _run_job(jobs[i], validate, certify, measure, kernel)
         stats["inline_graph_jobs"] = len(dispatch)
     elif dispatch:
         outcomes = _dispatch_pool(
@@ -495,6 +517,7 @@ def schedule_many(
             grace=grace, retries=retries, backoff=backoff,
             share_graphs=share_graphs, store=store,
             fingerprints=fingerprints, stats=stats, metrics=reg,
+            kernel=kernel,
         )
         for i, res in zip(dispatch, outcomes):
             results[i] = res
@@ -576,6 +599,7 @@ def _record_batch_metrics(
             tag=res.tag, algo=res.algo, procs=res.procs, ok=res.ok,
             error_kind=res.error_kind, cached=res.cached,
             attempts=res.attempts, wall=wall, phases=phases,
+            kernel=res.kernel,
         )
     reg.event(
         "batch.run", wall_seconds,
@@ -611,6 +635,7 @@ def _dispatch_pool(
     fingerprints: Dict[int, str],
     stats: Dict[str, int],
     metrics: Optional[MetricsRegistry] = None,
+    kernel: str = "auto",
 ) -> List[BatchResult]:
     """Fan ``jobs`` across the supervised pool, sharing graphs through the
     graph plane where the policy says so.  Owns (and always unlinks) the
@@ -655,7 +680,7 @@ def _dispatch_pool(
 
         measure = metrics is not None
         outcomes = workerpool.run_supervised(
-            [(job, validate, certify, measure) for job in wire],
+            [(job, validate, certify, measure, kernel) for job in wire],
             _run_packed,
             workers=min(workers, len(wire)),
             timeout=timeout,

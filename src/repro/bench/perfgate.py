@@ -68,6 +68,7 @@ def measure_throughput(
     problems: Sequence[str] = ("lu", "laplace", "stencil"),
     repeats: int = 3,
     include_seed: bool = True,
+    kernel: str = "auto",
 ) -> Dict:
     """Measure FLB scheduling throughput on the Fig. 2 suite.
 
@@ -75,8 +76,23 @@ def measure_throughput(
     summed across every (instance, P) pair — one aggregate number rather
     than a per-cell table, because the gate needs a single scalar that
     regressions cannot hide from by trading cells against each other.
+
+    ``kernel`` picks the FLB implementation under test (resolved through
+    :func:`repro.core.flb_array.resolve_kernel`, so ``REPRO_KERNEL`` and
+    numba availability apply): ``"object"`` times the CSR fast path
+    (:func:`repro.core.flb.flb`), anything else times the array kernel with
+    that backend.  The resolved name is recorded in the result so stored
+    baselines say what they measured.
     """
+    from repro.core.flb_array import flb_array, resolve_kernel
     from repro.metrics.metrics import time_scheduler
+
+    resolved = resolve_kernel(kernel)
+    if resolved == "object":
+        fast = flb
+    else:
+        def fast(graph, num_procs=None, machine=None):
+            return flb_array(graph, num_procs, machine=machine, backend=resolved)
 
     instances = paper_suite(target_tasks, seeds=seeds, problems=problems)
     total_tasks = 0
@@ -85,7 +101,7 @@ def measure_throughput(
     for inst in instances:
         for p in procs:
             total_tasks += inst.graph.num_tasks
-            fast_seconds += time_scheduler(flb, inst.graph, p, repeats=repeats)
+            fast_seconds += time_scheduler(fast, inst.graph, p, repeats=repeats)
             if include_seed:
                 seed_seconds += time_scheduler(
                     seed_flb, inst.graph, p, repeats=repeats
@@ -93,6 +109,7 @@ def measure_throughput(
     result: Dict = {
         "tasks_per_s": round(total_tasks / fast_seconds, 1),
         "total_tasks": total_tasks,
+        "kernel": resolved,
         "suite": {
             "target_tasks": target_tasks,
             "seeds": seeds,
@@ -136,7 +153,11 @@ def run_gate(
 
     The file's ``current`` entry is rewritten on every run (unless
     ``write=False``), so the JSON records the latest measurement alongside
-    the baseline it was judged against.
+    the baseline it was judged against.  Every baseline ever adopted is
+    appended to the file's ``history`` list (timestamped, newest last), so
+    re-baselining after a speedup keeps the old floor on record instead of
+    silently discarding it; ``baseline`` always equals the latest history
+    entry minus the timestamp.
     """
     if not 0 <= tolerance < 1:
         raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
@@ -147,8 +168,10 @@ def run_gate(
         json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
     )
     baseline = stored.get("baseline")
+    history = list(stored.get("history", []))
+    rebaseline = baseline is None or update_baseline
 
-    if baseline is None or update_baseline:
+    if rebaseline:
         result = GateResult(
             ok=True,
             message=(
@@ -176,16 +199,27 @@ def run_gate(
         )
 
     if write:
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+        if not history and baseline is not None:
+            # Migrate pre-history files: the standing baseline becomes the
+            # first history entry, so a simultaneous re-baseline appends
+            # after it instead of discarding it.
+            history.append({**dict(baseline), "recorded": timestamp})
+        if rebaseline and (not history or dict(result.baseline or {}) != {
+            k: v for k, v in history[-1].items() if k != "recorded"
+        }):
+            history.append({**dict(result.baseline or {}), "recorded": timestamp})
         payload = {
             "benchmark": "flb-scheduling-throughput",
             "unit": "tasks/s",
             "tolerance": tolerance,
             "baseline": result.baseline,
+            "history": history,
             "current": current,
             "last_run": {
                 "ok": result.ok,
                 "message": result.message,
-                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "timestamp": timestamp,
             },
         }
         baseline_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -122,6 +122,35 @@ def _resolve_graph(args):
     return _build_problem(args.problem, args.tasks, args.ccr, args.seed)
 
 
+def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.core.flb_array import KERNEL_CHOICES
+
+    parser.add_argument(
+        "--kernel", choices=KERNEL_CHOICES, default="auto",
+        help="FLB backend: auto (numba when importable, else array), "
+             "object (reference heaps), array (NumPy state vectors) or "
+             "numba (njit-compiled); REPRO_KERNEL overrides, non-FLB "
+             "algorithms ignore it",
+    )
+
+
+def _run_algorithm(algo: str, kernel: str, graph, procs: int):
+    """Run ``algo`` honouring ``--kernel``; returns (schedule, backend)."""
+    if algo == "flb":
+        from repro.core.flb_array import (
+            flb_array,
+            resolve_kernel,
+            stock_flb_registered,
+        )
+
+        if not stock_flb_registered():
+            return SCHEDULERS[algo](graph, procs), "object"
+        resolved = resolve_kernel(kernel)
+        if resolved != "object":
+            return flb_array(graph, procs, backend=resolved), resolved
+    return SCHEDULERS[algo](graph, procs), "object"
+
+
 def _add_workload_args(parser: argparse.ArgumentParser, with_graph: bool = True) -> None:
     if with_graph:
         parser.add_argument("--graph", help="load a task graph from JSON instead of generating")
@@ -174,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_sched)
     p_sched.add_argument("--procs", type=int, default=4)
     p_sched.add_argument("--algo", choices=sorted(SCHEDULERS), default="flb")
+    _add_kernel_arg(p_sched)
     p_sched.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     p_sched.add_argument("--table", action="store_true", help="print the placement table")
 
@@ -204,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_cert)
     p_cert.add_argument("--procs", type=int, default=4)
     p_cert.add_argument("--algo", choices=sorted(SCHEDULERS), default="flb")
+    _add_kernel_arg(p_cert)
     _add_obs_args(p_cert, json_help="emit the certificate as JSON")
     p_cert.add_argument("--stats", action="store_true",
                         help="print certify latency and per-check-code counts")
@@ -240,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="processor counts")
     p_batch.add_argument("--algos", nargs="+", choices=sorted(SCHEDULERS),
                          default=["flb"], help="algorithms")
+    _add_kernel_arg(p_batch)
     p_batch.add_argument("--tasks", type=int, default=500, help="approximate task count")
     p_batch.add_argument("--ccr", type=float, default=1.0)
     p_batch.add_argument("--seeds", type=int, default=1,
@@ -305,11 +337,12 @@ def _cmd_generate(args) -> int:
 
 def _cmd_schedule(args) -> int:
     graph = _resolve_graph(args)
-    schedule = SCHEDULERS[args.algo](graph, args.procs)
+    schedule, backend = _run_algorithm(args.algo, args.kernel, graph, args.procs)
     schedule.validate()
+    kernel_note = f", kernel={backend}" if args.algo == "flb" else ""
     print(
         f"{args.algo} on P={args.procs}: makespan {schedule.makespan:g} "
-        f"(V={graph.num_tasks}, E={graph.num_edges})"
+        f"(V={graph.num_tasks}, E={graph.num_edges}{kernel_note})"
     )
     for key, value in summarize(schedule).items():
         print(f"  {key:>16s}: {value:.4g}")
@@ -476,7 +509,7 @@ def _cmd_certify(args) -> int:
     graph = _resolve_graph(args)
     reg = _obs_registry(args)
     t_sched = _time.perf_counter()
-    schedule = SCHEDULERS[args.algo](graph, args.procs)
+    schedule, backend = _run_algorithm(args.algo, args.kernel, graph, args.procs)
     t0 = _time.perf_counter()
     cert = certify(schedule, flavor=greedy_flavor(args.algo))
     elapsed = _time.perf_counter() - t0
@@ -484,20 +517,24 @@ def _cmd_certify(args) -> int:
     for code in cert.codes():
         codes[code] = codes.get(code, 0) + 1
     if reg is not None:
-        reg.histogram("sched_kernel_seconds", algo=args.algo).observe(t0 - t_sched)
+        reg.histogram(
+            "sched_kernel_seconds", algo=args.algo, kernel=backend
+        ).observe(t0 - t_sched)
         reg.histogram("verify_certify_seconds").observe(elapsed)
         reg.counter("verify_certify_total",
                     ok="true" if cert.ok else "false").inc()
         for code, count in codes.items():
             reg.counter("verify_rule_hits_total", code=code).inc(count)
         reg.event("verify.certify", elapsed, algo=args.algo,
-                  procs=args.procs, ok=cert.ok)
+                  procs=args.procs, ok=cert.ok, kernel=backend)
     if args.json_out:
         doc = cert.to_dict()
         doc["algo"] = args.algo
+        doc["kernel"] = backend
         print(_json.dumps(doc, indent=2))
     else:
-        print(f"{args.algo} on P={args.procs}:")
+        kernel_note = f" (kernel={backend})" if args.algo == "flb" else ""
+        print(f"{args.algo} on P={args.procs}{kernel_note}:")
         print(cert.render())
     if args.stats:
         counts = " ".join(f"{c}={n}" for c, n in sorted(codes.items())) or "none"
@@ -566,7 +603,7 @@ def _cmd_batch(args) -> int:
     reg = _obs_registry(args)
     options = SchedulingOptions(
         timeout=args.timeout, validate=args.validate, certify=args.certify,
-        retries=args.retries, metrics=reg,
+        retries=args.retries, metrics=reg, kernel=args.kernel,
     )
     with BatchScheduler(
         workers=args.workers, options=options,

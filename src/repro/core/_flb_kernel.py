@@ -1,0 +1,467 @@
+"""The FLB scheduling kernel as one njit-compilable array program.
+
+:func:`flb_kernel` is the whole FLB inner loop — Theorem-3 candidate
+selection, lazy-invalidation priority heaps, the fused ready-set update —
+expressed over flat NumPy arrays with no Python objects: every mutable
+quantity (task states, finish times, processor assignments, per-processor
+ready times, indegree counters, and the five priority lists) lives in a
+preallocated ``int64``/``float64``/``int8`` vector.  The function body is
+plain Python over those arrays, which gives it two execution modes:
+
+* **compiled** — :func:`get_compiled_kernel` lazily imports :mod:`numba`
+  (a multi-second import, paid only when the numba backend is actually
+  selected) and returns an ``njit(nogil=True)``-compiled version;
+* **interpreted** — the function runs as-is under CPython.  This is far
+  slower than :func:`repro.core.flb_array._flb_array_impl` (manual array
+  heaps cannot beat C ``heapq`` in the interpreter) but it lets the
+  equivalence suite pin the *compiled* code path's algorithm bit-for-bit
+  on machines without numba.
+
+The five priority lists are binary heaps over parallel key arrays with the
+exact comparison :mod:`heapq` applies to the fast path's key tuples —
+``(key1, key2, id)`` lexicographic for the task lists, ``(key, proc)`` for
+the processor lists — so the pop order is identical to the reference
+kernel's wherever keys are distinct, and distinctness is guaranteed by the
+unique trailing task id.  Equal ``(est, proc)`` processor entries are
+exact duplicates and therefore interchangeable.
+
+Capacity bounds (every task enters each task-list at most once; EP ->
+non-EP demotion is one-way):
+
+* non-EP heap: ``V`` entries;
+* per-processor EMT/LMT heaps: ``V`` entries in total across processors,
+  stored as rectangular ``(P, cap)`` arrays that double on overflow;
+* active-processor heap: one push per ``refresh`` call, ``<= 2V + P``;
+* all-processors heap: one push per placement plus the initial ``P``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+__all__ = ["flb_kernel", "get_compiled_kernel", "KERNEL_OK", "KERNEL_STUCK"]
+
+#: flb_kernel status codes.
+KERNEL_OK = 0
+KERNEL_STUCK = 1  # no ready task but schedule incomplete (a bug upstream)
+
+# Task states, identical to repro.core.flb's fast path.
+_NOT_READY, _EP, _NON_EP, _DONE = 0, 1, 2, 3
+
+
+def flb_kernel(
+    n: int,
+    num_procs: int,
+    pred_ptr: np.ndarray,
+    pred_ids: np.ndarray,
+    succ_ptr: np.ndarray,
+    succ_ids: np.ndarray,
+    pred_delay: np.ndarray,
+    comp: np.ndarray,
+    speeds: np.ndarray,
+    homogeneous: bool,
+    neg_bl: np.ndarray,
+    prefer_non_ep_on_tie: bool,
+    out_order: np.ndarray,
+    out_proc: np.ndarray,
+    out_start: np.ndarray,
+    out_finish: np.ndarray,
+    out_prt: np.ndarray,
+    out_counters: np.ndarray,
+) -> int:
+    """Run FLB over CSR arrays; fill the ``out_*`` arrays.
+
+    ``pred_delay[i]`` is the precomputed remote arrival delay
+    ``latency + comm_scale * pred_comm[i]`` for predecessor edge ``i`` —
+    hoisting it preserves the reference kernel's float rounding exactly
+    (the sum ``ft + (lat + scale * comm)`` is parenthesised the same way).
+
+    ``out_counters`` receives ``[iterations, heap_pushes, ep_choices,
+    non_ep_choices]``.  Returns :data:`KERNEL_OK` or :data:`KERNEL_STUCK`.
+    """
+
+    # -- heap primitives over parallel key arrays ---------------------------
+    # Lexicographic (k1, k2, k3) "<" — what heapq applies to the reference
+    # kernel's (LMT/EMT, -BL, id) tuples.
+
+    def lt3(a1, a2, a3, b1, b2, b3):
+        if a1 < b1:
+            return True
+        if a1 > b1:
+            return False
+        if a2 < b2:
+            return True
+        if a2 > b2:
+            return False
+        return a3 < b3
+
+    def push3(k1, k2, k3, size, a, b, c):
+        i = size
+        k1[i] = a
+        k2[i] = b
+        k3[i] = c
+        while i > 0:
+            parent = (i - 1) >> 1
+            if lt3(k1[i], k2[i], k3[i], k1[parent], k2[parent], k3[parent]):
+                k1[i], k1[parent] = k1[parent], k1[i]
+                k2[i], k2[parent] = k2[parent], k2[i]
+                k3[i], k3[parent] = k3[parent], k3[i]
+                i = parent
+            else:
+                break
+        return size + 1
+
+    def pop3(k1, k2, k3, size):
+        last = size - 1
+        k1[0] = k1[last]
+        k2[0] = k2[last]
+        k3[0] = k3[last]
+        i = 0
+        while True:
+            left = 2 * i + 1
+            if left >= last:
+                break
+            best = left
+            right = left + 1
+            if right < last and lt3(
+                k1[right], k2[right], k3[right], k1[left], k2[left], k3[left]
+            ):
+                best = right
+            if lt3(k1[best], k2[best], k3[best], k1[i], k2[i], k3[i]):
+                k1[i], k1[best] = k1[best], k1[i]
+                k2[i], k2[best] = k2[best], k2[i]
+                k3[i], k3[best] = k3[best], k3[i]
+                i = best
+            else:
+                break
+        return last
+
+    def push2(k, pr, size, a, p):
+        i = size
+        k[i] = a
+        pr[i] = p
+        while i > 0:
+            parent = (i - 1) >> 1
+            if k[i] < k[parent] or (k[i] == k[parent] and pr[i] < pr[parent]):
+                k[i], k[parent] = k[parent], k[i]
+                pr[i], pr[parent] = pr[parent], pr[i]
+                i = parent
+            else:
+                break
+        return size + 1
+
+    def pop2(k, pr, size):
+        last = size - 1
+        k[0] = k[last]
+        pr[0] = pr[last]
+        i = 0
+        while True:
+            left = 2 * i + 1
+            if left >= last:
+                break
+            best = left
+            right = left + 1
+            if right < last and (
+                k[right] < k[left] or (k[right] == k[left] and pr[right] < pr[left])
+            ):
+                best = right
+            if k[best] < k[i] or (k[best] == k[i] and pr[best] < pr[i]):
+                k[i], k[best] = k[best], k[i]
+                pr[i], pr[best] = pr[best], pr[i]
+                i = best
+            else:
+                break
+        return last
+
+    # -- state vectors ------------------------------------------------------
+    state = np.zeros(n, dtype=np.int8)
+    npreds = np.empty(n, dtype=np.int64)
+    for t in range(n):
+        npreds[t] = pred_ptr[t + 1] - pred_ptr[t]
+    lmt = np.zeros(n, dtype=np.float64)
+    ep_of = np.zeros(n, dtype=np.int64)
+    for p in range(num_procs):
+        out_prt[p] = 0.0
+    prt = out_prt
+
+    # Non-EP list, keyed (LMT, -BL, id).
+    non_k1 = np.empty(n + 1, dtype=np.float64)
+    non_k2 = np.empty(n + 1, dtype=np.float64)
+    non_id = np.empty(n + 1, dtype=np.int64)
+    non_size = 0
+    # All-processors list, keyed (PRT, proc); starts with every proc at 0.
+    all_cap = n + num_procs + 1
+    all_k = np.empty(all_cap, dtype=np.float64)
+    all_p = np.empty(all_cap, dtype=np.int64)
+    for p in range(num_procs):
+        all_k[p] = 0.0
+        all_p[p] = p  # sorted ascending => a valid binary heap
+    all_size = num_procs
+    # Active-processors list, keyed (min EST, proc), lazily validated
+    # against active_est.
+    act_cap = 2 * n + num_procs + 2
+    act_k = np.empty(act_cap, dtype=np.float64)
+    act_p = np.empty(act_cap, dtype=np.int64)
+    act_size = 0
+    active_est = np.zeros(num_procs, dtype=np.float64)
+    active_valid = np.zeros(num_procs, dtype=np.int8)
+    # Per-processor EP lists keyed (EMT, -BL, id) / (LMT, -BL, id), as
+    # rectangular (P, cap) heaps doubling on overflow.
+    emt_cap = 64
+    emt_k1 = np.empty((num_procs, emt_cap), dtype=np.float64)
+    emt_k2 = np.empty((num_procs, emt_cap), dtype=np.float64)
+    emt_id = np.empty((num_procs, emt_cap), dtype=np.int64)
+    emt_sizes = np.zeros(num_procs, dtype=np.int64)
+    lmt_cap = 64
+    lmt_k1 = np.empty((num_procs, lmt_cap), dtype=np.float64)
+    lmt_k2 = np.empty((num_procs, lmt_cap), dtype=np.float64)
+    lmt_id = np.empty((num_procs, lmt_cap), dtype=np.int64)
+    lmt_sizes = np.zeros(num_procs, dtype=np.int64)
+
+    heap_pushes = 0
+    ep_choices = 0
+    non_ep_choices = 0
+
+    def refresh_active(p, act_size, row_k1, row_k2, row_id):
+        # Re-derive p's entry in the active list from the head of its EMT
+        # list and its PRT (the paper's UpdateProcLists).
+        sz = emt_sizes[p]
+        while sz > 0 and state[row_id[0]] != _EP:
+            sz = pop3(row_k1, row_k2, row_id, sz)
+        emt_sizes[p] = sz
+        if sz == 0:
+            active_valid[p] = 0
+        else:
+            est = row_k1[0]
+            rt = prt[p]
+            if rt > est:
+                est = rt
+            active_est[p] = est
+            active_valid[p] = 1
+            act_size = push2(act_k, act_p, act_size, est, p)
+        return act_size
+
+    for t in range(n):
+        # Entry tasks have no enabling processor and are non-EP with LMT 0.
+        if npreds[t] == 0:
+            state[t] = _NON_EP
+            non_size = push3(non_k1, non_k2, non_id, non_size, 0.0, neg_bl[t], t)
+            heap_pushes += 1
+
+    status = KERNEL_OK
+    for it in range(n):
+        # Candidate (a): EP task with minimum EST on its enabling processor.
+        while act_size > 0:
+            est = act_k[0]
+            p = act_p[0]
+            if active_valid[p] == 1 and active_est[p] == est:
+                break
+            act_size = pop2(act_k, act_p, act_size)
+        # Candidate (b): non-EP task with minimum LMT, on the earliest-idle
+        # processor.
+        while non_size > 0 and state[non_id[0]] != _NON_EP:
+            non_size = pop3(non_k1, non_k2, non_id, non_size)
+        idle_prt = 0.0
+        idle_proc = 0
+        while True:
+            idle_prt = all_k[0]
+            idle_proc = all_p[0]
+            if prt[idle_proc] == idle_prt:
+                break
+            all_size = pop2(all_k, all_p, all_size)
+
+        if act_size == 0 and non_size == 0:
+            status = KERNEL_STUCK
+            break
+        # Theorem 3: compare the two candidates; per the paper, ties favour
+        # the non-EP task (ablatable via prefer_non_ep_on_tie).
+        if non_size == 0:
+            take_ep = True
+        elif act_size == 0:
+            take_ep = False
+        else:
+            ep_est = act_k[0]
+            non_lmt = non_k1[0]
+            non_est = non_lmt if non_lmt > idle_prt else idle_prt
+            if prefer_non_ep_on_tie:
+                take_ep = ep_est < non_est
+            else:
+                take_ep = ep_est <= non_est
+        if take_ep:
+            proc = act_p[0]
+            est = act_k[0]
+            row_k1 = emt_k1[proc]
+            row_k2 = emt_k2[proc]
+            row_id = emt_id[proc]
+            sz = emt_sizes[proc]
+            while state[row_id[0]] != _EP:  # defensive, mirrors the fast path
+                sz = pop3(row_k1, row_k2, row_id, sz)
+            emt_sizes[proc] = sz
+            task = row_id[0]
+            ep_choices += 1
+        else:
+            task = non_id[0]
+            non_lmt = non_k1[0]
+            proc = idle_proc
+            est = non_lmt if non_lmt > idle_prt else idle_prt
+            non_ep_choices += 1
+
+        # ScheduleTask: the chosen task's heap entries become tombstones.
+        state[task] = _DONE
+        if homogeneous:
+            ft = est + comp[task]
+        else:
+            ft = est + comp[task] / speeds[proc]
+        out_order[it] = task
+        out_proc[task] = proc
+        out_start[task] = est
+        out_finish[task] = ft
+
+        # UpdateTaskLists + UpdateProcLists: PRT(proc) rises to ft; EP tasks
+        # of proc whose LMT fell below it demote to non-EP.
+        prt[proc] = ft
+        all_size = push2(all_k, all_p, all_size, ft, proc)
+        heap_pushes += 1
+        row_k1 = lmt_k1[proc]
+        row_k2 = lmt_k2[proc]
+        row_id = lmt_id[proc]
+        sz = lmt_sizes[proc]
+        while sz > 0:
+            e_id = row_id[0]
+            if state[e_id] != _EP:
+                sz = pop3(row_k1, row_k2, row_id, sz)
+                continue
+            e_lmt = row_k1[0]
+            if e_lmt >= ft:
+                break
+            e_bl = row_k2[0]
+            sz = pop3(row_k1, row_k2, row_id, sz)
+            state[e_id] = _NON_EP
+            # Same (LMT, -BL, id) key moves to the non-EP list.
+            non_size = push3(non_k1, non_k2, non_id, non_size, e_lmt, e_bl, e_id)
+            heap_pushes += 1
+        lmt_sizes[proc] = sz
+        act_size = refresh_active(
+            proc, act_size, emt_k1[proc], emt_k2[proc], emt_id[proc]
+        )
+        if active_valid[proc] == 1:
+            heap_pushes += 1
+
+        # UpdateReadyTasks: one fused pass per newly ready successor
+        # computes LMT, EP and EMT-on-EP together.  EMT(t, EP) =
+        # max(max FT(pred), max arrival from predecessors off EP); ``alt``
+        # tracks the best arrival from any processor other than the current
+        # best's.
+        for j in range(succ_ptr[task], succ_ptr[task + 1]):
+            succ = succ_ids[j]
+            npreds[succ] -= 1
+            if npreds[succ] != 0:
+                continue
+            b_arr = -1.0
+            b_ft = -1.0
+            b_id = -1
+            b_proc = 0
+            alt = 0.0
+            max_ft = 0.0
+            for i in range(pred_ptr[succ], pred_ptr[succ + 1]):
+                pred = pred_ids[i]
+                ft_p = out_finish[pred]
+                arr = ft_p + pred_delay[i]
+                pproc = out_proc[pred]
+                if ft_p > max_ft:
+                    max_ft = ft_p
+                # Deterministic (arrival, FT, id) tie rule for the EP choice.
+                if arr > b_arr or (
+                    arr == b_arr
+                    and (ft_p > b_ft or (ft_p == b_ft and pred > b_id))
+                ):
+                    if pproc != b_proc and b_arr > alt:
+                        alt = b_arr
+                    b_arr = arr
+                    b_ft = ft_p
+                    b_id = pred
+                    b_proc = pproc
+                elif pproc != b_proc and arr > alt:
+                    alt = arr
+            emt = max_ft if max_ft > alt else alt
+            lmt[succ] = b_arr
+            ep_of[succ] = b_proc
+            nbl = neg_bl[succ]
+            # A task is EP-type iff LMT(t) >= PRT(EP(t)).
+            if b_arr >= prt[b_proc]:
+                state[succ] = _EP
+                if emt_sizes[b_proc] >= emt_cap:
+                    new_cap = emt_cap * 2
+                    new_k1 = np.empty((num_procs, new_cap), dtype=np.float64)
+                    new_k2 = np.empty((num_procs, new_cap), dtype=np.float64)
+                    new_id = np.empty((num_procs, new_cap), dtype=np.int64)
+                    for q in range(num_procs):
+                        for m in range(emt_sizes[q]):
+                            new_k1[q, m] = emt_k1[q, m]
+                            new_k2[q, m] = emt_k2[q, m]
+                            new_id[q, m] = emt_id[q, m]
+                    emt_k1 = new_k1
+                    emt_k2 = new_k2
+                    emt_id = new_id
+                    emt_cap = new_cap
+                if lmt_sizes[b_proc] >= lmt_cap:
+                    new_cap = lmt_cap * 2
+                    new_k1 = np.empty((num_procs, new_cap), dtype=np.float64)
+                    new_k2 = np.empty((num_procs, new_cap), dtype=np.float64)
+                    new_id = np.empty((num_procs, new_cap), dtype=np.int64)
+                    for q in range(num_procs):
+                        for m in range(lmt_sizes[q]):
+                            new_k1[q, m] = lmt_k1[q, m]
+                            new_k2[q, m] = lmt_k2[q, m]
+                            new_id[q, m] = lmt_id[q, m]
+                    lmt_k1 = new_k1
+                    lmt_k2 = new_k2
+                    lmt_id = new_id
+                    lmt_cap = new_cap
+                emt_sizes[b_proc] = push3(
+                    emt_k1[b_proc], emt_k2[b_proc], emt_id[b_proc],
+                    emt_sizes[b_proc], emt, nbl, succ,
+                )
+                lmt_sizes[b_proc] = push3(
+                    lmt_k1[b_proc], lmt_k2[b_proc], lmt_id[b_proc],
+                    lmt_sizes[b_proc], b_arr, nbl, succ,
+                )
+                act_size = refresh_active(
+                    b_proc, act_size, emt_k1[b_proc], emt_k2[b_proc], emt_id[b_proc]
+                )
+                heap_pushes += 2
+                if active_valid[b_proc] == 1:
+                    heap_pushes += 1
+            else:
+                state[succ] = _NON_EP
+                non_size = push3(
+                    non_k1, non_k2, non_id, non_size, b_arr, nbl, succ
+                )
+                heap_pushes += 1
+
+    out_counters[0] = n
+    out_counters[1] = heap_pushes
+    out_counters[2] = ep_choices
+    out_counters[3] = non_ep_choices
+    return status
+
+
+_compiled: Optional[Callable[..., Any]] = None
+
+
+def get_compiled_kernel() -> Callable[..., Any]:
+    """The ``numba.njit``-compiled :func:`flb_kernel`, compiled on first use.
+
+    Importing numba costs seconds, so it happens here — only when the numba
+    backend is actually selected — never at module import.  Raises
+    ``ImportError`` when numba is absent; callers gate on
+    :func:`repro.core.flb_array.numba_available` first.
+    """
+    global _compiled
+    if _compiled is None:
+        from numba import njit
+
+        _compiled = njit(nogil=True)(flb_kernel)
+    return _compiled

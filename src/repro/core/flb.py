@@ -164,7 +164,7 @@ def _flb_fast(
     num_procs = machine.num_procs
     bl = bottom_levels(graph)
     schedule = Schedule(graph, machine)
-    csr = graph.csr()
+    csr = graph.csr().lists
     pred_ptr, pred_ids, pred_comm = csr.pred_ptr, csr.pred_ids, csr.pred_comm
     succ_ptr, succ_ids = csr.succ_ptr, csr.succ_ids
     lat, scale = machine.latency, machine.comm_scale
@@ -172,7 +172,8 @@ def _flb_fast(
     state = [_NOT_READY] * n
     finish = [0.0] * n  # FT of scheduled tasks (schedule.finish_of, hoisted)
     on_proc = [0] * n  # PROC of scheduled tasks (schedule.proc_of, hoisted)
-    npreds = csr.in_degrees()
+    pp = csr.pred_ptr
+    npreds = [pp[t + 1] - pp[t] for t in range(n)]
 
     prt = [0.0] * num_procs
     # Per-processor EP lists keyed (EMT, -BL, id) / (LMT, -BL, id); global

@@ -1,0 +1,556 @@
+"""Array-native FLB: NumPy state vectors, optional numba backend.
+
+This module is the performance plane on top of :mod:`repro.core.flb`
+(ROADMAP item 2): the same algorithm — Theorem-3 two-candidate selection
+with five lazily-invalidated priority lists — over flat state vectors
+allocated once per run:
+
+======================  =========  =========================================
+vector                  dtype      meaning
+======================  =========  =========================================
+``order``               int64[V]   placement order (iteration -> task)
+``proc``                int64[V]   ``PROC(t)`` — processor assignment
+``start`` / ``finish``  f64[V]     ``ST(t)`` / ``FT(t)``
+``prt``                 f64[P]     per-processor ready times
+``npreds``              int64[V]   unscheduled-predecessor (indegree) counts
+``state``               int8[V]    ready flags (not-ready/EP/non-EP/done)
+``lmt`` / ``ep``        f64/i64    last message arrival + enabling proc
+``neg_bl``              f64[V]     ``-BL(t)`` heap keys (vectorized CSR sweep)
+``pred_delay``          f64[E]     ``latency + comm_scale * comm`` per edge
+======================  =========  =========================================
+
+Two backends share that layout (selected via
+``SchedulingOptions(kernel=...)`` / ``REPRO_KERNEL``; see
+:func:`resolve_kernel`):
+
+* ``"numba"`` — :mod:`repro.core._flb_kernel` compiled with ``njit``; the
+  whole inner loop runs without the interpreter.  numba is optional: when
+  absent, explicit requests fall back to ``"array"`` with a single
+  warning, and ``"auto"`` falls back silently.
+* ``"array"`` — an interpreted driver.  Initialization is fully
+  vectorized (bottom levels, edge delays, indegrees), placement is batched
+  into the state vectors and the schedule is materialized in one shot at
+  the end (no per-placement method calls).  Inside the scalar loop the
+  driver iterates *list mirrors* of the state vectors: CPython indexes a
+  Python list ~3x faster than an ndarray (every ``arr[i]`` boxes a fresh
+  scalar object), so mirroring costs ``O(V + E)`` once and saves that
+  factor on every access.  The arrays remain the canonical layout — the
+  mirrors are write-through staging for the interpreter only.
+
+Both backends are bit-identical to the reference kernels: same float
+expressions, same parenthesization, same heap key tuples, same
+deterministic tie rules (enforced by ``tests/test_fastpath_equivalence.py``
+over the full suite plus a random-DAG fuzz sweep, with every schedule
+re-certified by :mod:`repro.verify`).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from heapq import heappop, heappush
+from importlib import util as _importlib_util
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core._flb_kernel import KERNEL_OK, flb_kernel, get_compiled_kernel
+from repro.exceptions import SchedulerError
+from repro.graph.properties import bottom_levels_array
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.model import MachineModel
+from repro.obs.metrics import MetricsRegistry
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "flb_array",
+    "resolve_kernel",
+    "numba_available",
+    "KernelSelectionError",
+    "KERNEL_CHOICES",
+]
+
+#: Valid values for ``SchedulingOptions.kernel`` / ``REPRO_KERNEL``.
+KERNEL_CHOICES = ("auto", "object", "array", "numba")
+
+
+class KernelSelectionError(SchedulerError):
+    """An invalid ``kernel=`` / ``REPRO_KERNEL`` value was requested."""
+
+
+#: Tri-state numba probe: None = not yet probed (tests monkeypatch this).
+_numba_probe: Optional[bool] = None
+_numba_fallback_warned = False
+
+
+def numba_available() -> bool:
+    """Whether the optional numba backend can be used (probe is cached).
+
+    Uses ``importlib.util.find_spec`` — a metadata lookup, not the
+    multi-second ``import numba`` (that cost is paid lazily inside
+    :func:`repro.core._flb_kernel.get_compiled_kernel`, only when the numba
+    backend actually runs).
+    """
+    global _numba_probe
+    if _numba_probe is None:
+        try:
+            _numba_probe = _importlib_util.find_spec("numba") is not None
+        except (ImportError, ValueError):  # pragma: no cover - broken meta
+            _numba_probe = False
+    return _numba_probe
+
+
+def resolve_kernel(requested: Optional[str] = None) -> str:
+    """Resolve a kernel request to a concrete backend name.
+
+    Precedence: the ``REPRO_KERNEL`` environment variable beats the
+    ``requested`` argument (so a deployment can force a backend without
+    code changes); ``"auto"`` picks the fastest available backend in the
+    order numba > array > object (``"array"`` needs only NumPy, a hard
+    dependency, so resolution always terminates there when numba is
+    absent).  An explicit ``"numba"`` request without numba installed
+    falls back to ``"array"`` with a single :class:`RuntimeWarning` per
+    process; ``"auto"`` falls back silently.  Unknown values raise
+    :class:`KernelSelectionError`.
+    """
+    global _numba_fallback_warned
+    env = os.environ.get("REPRO_KERNEL", "").strip()
+    if env:
+        value = env.lower()
+        source = f"REPRO_KERNEL={env!r}"
+    else:
+        value = requested if requested is not None else "auto"
+        source = f"kernel={requested!r}"
+    if value not in KERNEL_CHOICES:
+        raise KernelSelectionError(
+            f"unknown scheduling kernel {source}; valid values: "
+            f"{', '.join(KERNEL_CHOICES)}"
+        )
+    if value == "auto":
+        return "numba" if numba_available() else "array"
+    if value == "numba" and not numba_available():
+        if not _numba_fallback_warned:
+            warnings.warn(
+                f"{source} requested but numba is not installed; "
+                f"falling back to the interpreted array kernel",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _numba_fallback_warned = True
+        return "array"
+    return value
+
+
+def _reset_kernel_state() -> None:
+    """Forget the numba probe and the warn-once latch (test helper)."""
+    global _numba_probe, _numba_fallback_warned
+    _numba_probe = None
+    _numba_fallback_warned = False
+
+
+def stock_flb_registered() -> bool:
+    """Whether the scheduler registry still maps ``"flb"`` to the stock
+    implementation.
+
+    Entry points only divert FLB requests to the array kernels when this
+    holds: a test or embedder that monkeypatches ``SCHEDULERS["flb"]``
+    must get its replacement, not a bit-identical bypass of it.
+    """
+    from repro.core.flb import flb
+    from repro.schedulers import SCHEDULERS
+
+    return SCHEDULERS.get("flb") is flb
+
+
+def flb_array(
+    graph: TaskGraph,
+    num_procs: Optional[int] = None,
+    machine: Optional[MachineModel] = None,
+    prefer_non_ep_on_tie: bool = True,
+    backend: str = "auto",
+    metrics: Optional[MetricsRegistry] = None,
+) -> Schedule:
+    """Schedule ``graph`` with the array-native FLB kernel.
+
+    ``backend`` is a *resolved* kernel name (``"auto"`` is re-resolved
+    here; ``"object"`` delegates to :func:`repro.core.flb.flb`).  When
+    ``metrics`` is given, the kernel counters
+    (``flb_kernel_iterations_total``, ``flb_kernel_heap_ops_total``,
+    ``flb_kernel_choices_total{kind}``) and the backend that actually ran
+    (``flb_kernel_backend_total{backend}``) are recorded — the same names
+    :class:`repro.obs.KernelMetricsObserver` emits for the observed path,
+    so ``repro-sched report`` aggregates both.
+    """
+    graph.freeze()
+    if machine is None:
+        if num_procs is None:
+            raise SchedulerError("flb_array requires num_procs or machine")
+        machine = MachineModel(num_procs)
+    elif num_procs is not None and machine.num_procs != num_procs:
+        raise SchedulerError(
+            f"num_procs={num_procs} conflicts with machine.num_procs="
+            f"{machine.num_procs}"
+        )
+    if backend == "auto":
+        backend = "numba" if numba_available() else "array"
+    if backend == "object":
+        from repro.core.flb import flb
+
+        return flb(graph, machine=machine,
+                   prefer_non_ep_on_tie=prefer_non_ep_on_tie)
+    if backend not in ("array", "numba"):
+        raise KernelSelectionError(
+            f"unknown flb_array backend {backend!r}; valid values: "
+            f"array, numba"
+        )
+    if backend == "numba" and not numba_available():
+        # Silent here: resolve_kernel already warned for explicit requests.
+        if metrics is not None:
+            metrics.counter("flb_kernel_fallback_total",
+                            reason="numba-missing").inc()
+        backend = "array"
+
+    if backend == "numba":
+        schedule, counters = _flb_numba(graph, machine, prefer_non_ep_on_tie)
+    else:
+        schedule, counters = _flb_array_impl(graph, machine, prefer_non_ep_on_tie)
+
+    if metrics is not None:
+        iterations, heap_ops, ep_choices, non_ep_choices = counters
+        metrics.counter("flb_kernel_iterations_total").inc(float(iterations))
+        metrics.counter("flb_kernel_heap_ops_total").inc(float(heap_ops))
+        metrics.counter("flb_kernel_choices_total", kind="ep").inc(
+            float(ep_choices)
+        )
+        metrics.counter("flb_kernel_choices_total", kind="non-ep").inc(
+            float(non_ep_choices)
+        )
+        metrics.counter("flb_kernel_backend_total", backend=backend).inc()
+    return schedule
+
+
+# Ready-task states, identical to repro.core.flb's fast path.
+_NOT_READY, _EP, _NON_EP, _DONE = 0, 1, 2, 3
+
+
+def _kernel_inputs(
+    graph: TaskGraph, machine: MachineModel
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, bool, np.ndarray]:
+    """The vectorized per-run inputs both backends share.
+
+    ``pred_delay`` keeps the reference parenthesization
+    ``ft + (lat + scale * comm)``: the inner sum is computed here once per
+    edge, with the same two float ops the scalar kernels apply, so hoisting
+    it cannot change a single bit of any arrival time.  Both vectors are
+    memoized on the frozen graph (``pred_delay`` keyed by the machine's
+    latency/scale), so serving many schedules of one graph — the batch
+    plane's common shape — pays the ``O(V + E)`` setup once.
+    """
+    cache = graph._prop_cache
+    neg_bl = cache.get("neg_bl_arr")
+    if neg_bl is None:
+        neg_bl = -bottom_levels_array(graph)
+        cache["neg_bl_arr"] = neg_bl
+    delay_key = ("pred_delay", machine.latency, machine.comm_scale)
+    pred_delay = cache.get(delay_key)
+    if pred_delay is None:
+        pred_delay = machine.latency + machine.comm_scale * graph.csr().pred_comm
+        cache[delay_key] = pred_delay
+    comp = graph.comps_array()
+    homogeneous = machine.speeds is None
+    speeds = (
+        np.ones(machine.num_procs, dtype=np.float64)
+        if homogeneous
+        else np.asarray(machine.speeds, dtype=np.float64)
+    )
+    return neg_bl, pred_delay, comp, homogeneous, speeds
+
+
+def _flb_numba(
+    graph: TaskGraph,
+    machine: MachineModel,
+    prefer_non_ep_on_tie: bool,
+) -> Tuple[Schedule, Tuple[int, int, int, int]]:
+    """Run the compiled kernel over the CSR arrays."""
+    n = graph.num_tasks
+    num_procs = machine.num_procs
+    csr = graph.csr()
+    neg_bl, pred_delay, comp, homogeneous, speeds = _kernel_inputs(graph, machine)
+    out_order = np.empty(n, dtype=np.int64)
+    out_proc = np.zeros(n, dtype=np.int64)
+    out_start = np.zeros(n, dtype=np.float64)
+    out_finish = np.zeros(n, dtype=np.float64)
+    out_prt = np.zeros(num_procs, dtype=np.float64)
+    out_counters = np.zeros(4, dtype=np.int64)
+    kernel = get_compiled_kernel()
+    status = kernel(
+        n, num_procs,
+        csr.pred_ptr, csr.pred_ids, csr.succ_ptr, csr.succ_ids,
+        pred_delay, comp, speeds, homogeneous, neg_bl,
+        prefer_non_ep_on_tie,
+        out_order, out_proc, out_start, out_finish, out_prt, out_counters,
+    )
+    if status != KERNEL_OK:
+        raise SchedulerError("no ready task but schedule incomplete (bug)")
+    schedule = Schedule._from_arrays(
+        graph, machine,
+        out_order.tolist(), out_proc.tolist(),
+        out_start.tolist(), out_finish.tolist(), out_prt.tolist(),
+    )
+    c = out_counters.tolist()
+    return schedule, (c[0], c[1], c[2], c[3])
+
+
+def _flb_array_run_interpreted(
+    graph: TaskGraph,
+    machine: MachineModel,
+    prefer_non_ep_on_tie: bool,
+) -> Tuple[Schedule, Tuple[int, int, int, int]]:
+    """Run :func:`repro.core._flb_kernel.flb_kernel` under the interpreter.
+
+    Test-only entry (the equivalence suite uses it to pin the compiled
+    code path's algorithm without numba); far slower than
+    :func:`_flb_array_impl`, which is what ``backend="array"`` serves.
+    """
+    n = graph.num_tasks
+    num_procs = machine.num_procs
+    csr = graph.csr()
+    neg_bl, pred_delay, comp, homogeneous, speeds = _kernel_inputs(graph, machine)
+    out_order = np.empty(n, dtype=np.int64)
+    out_proc = np.zeros(n, dtype=np.int64)
+    out_start = np.zeros(n, dtype=np.float64)
+    out_finish = np.zeros(n, dtype=np.float64)
+    out_prt = np.zeros(num_procs, dtype=np.float64)
+    out_counters = np.zeros(4, dtype=np.int64)
+    status = flb_kernel(
+        n, num_procs,
+        csr.pred_ptr, csr.pred_ids, csr.succ_ptr, csr.succ_ids,
+        pred_delay, comp, speeds, homogeneous, neg_bl,
+        prefer_non_ep_on_tie,
+        out_order, out_proc, out_start, out_finish, out_prt, out_counters,
+    )
+    if status != KERNEL_OK:
+        raise SchedulerError("no ready task but schedule incomplete (bug)")
+    schedule = Schedule._from_arrays(
+        graph, machine,
+        out_order.tolist(), out_proc.tolist(),
+        out_start.tolist(), out_finish.tolist(), out_prt.tolist(),
+    )
+    c = out_counters.tolist()
+    return schedule, (c[0], c[1], c[2], c[3])
+
+
+def _flb_array_impl(
+    graph: TaskGraph,
+    machine: MachineModel,
+    prefer_non_ep_on_tie: bool,
+) -> Tuple[Schedule, Tuple[int, int, int, int]]:
+    """The interpreted array backend (see the module docstring).
+
+    Mirrors :func:`repro.core.flb._flb_fast` decision for decision; the
+    differences are mechanical: vectorized initialization, the precomputed
+    ``pred_delay`` vector, inlined active-list refreshes, and batched
+    placement into the state vectors with one
+    :meth:`Schedule._from_arrays` call at the end.
+    """
+    n = graph.num_tasks
+    num_procs = machine.num_procs
+    csr = graph.csr()
+    neg_bl_arr, pred_delay_arr, _comp, homogeneous, speeds_arr = _kernel_inputs(
+        graph, machine
+    )
+
+    # Interpreter list mirrors of the state-vector inputs, memoized next to
+    # the vectors themselves (graph-pure, machine-keyed where needed).
+    cache = graph._prop_cache
+    delay_key = ("pred_delay_list", machine.latency, machine.comm_scale)
+    pred_delay: List[float] = cache.get(delay_key)  # type: ignore[assignment]
+    if pred_delay is None:
+        pred_delay = pred_delay_arr.tolist()
+        cache[delay_key] = pred_delay
+    neg_bl: List[float] = cache.get("neg_bl_list")  # type: ignore[assignment]
+    if neg_bl is None:
+        neg_bl = neg_bl_arr.tolist()
+        cache["neg_bl_list"] = neg_bl
+    lists = csr.lists
+    pred_ptr, pred_ids = lists.pred_ptr, lists.pred_ids
+    succ_ptr, succ_ids = lists.succ_ptr, lists.succ_ids
+    comp: List[float] = graph._comp
+    speeds: List[float] = speeds_arr.tolist()
+
+    state = [_NOT_READY] * n
+    finish = [0.0] * n
+    on_proc = [0] * n
+    start = [0.0] * n
+    order: List[int] = []
+    npreds: List[int] = np.diff(csr.pred_ptr).tolist()
+    prt = [0.0] * num_procs
+
+    emt_heaps: List[List[Tuple[float, float, int]]] = [[] for _ in range(num_procs)]
+    lmt_heaps: List[List[Tuple[float, float, int]]] = [[] for _ in range(num_procs)]
+    non_ep_heap: List[Tuple[float, float, int]] = []
+    active_heap: List[Tuple[float, int]] = []
+    active_est: List[Optional[float]] = [None] * num_procs
+    all_heap = [(0.0, p) for p in range(num_procs)]  # sorted => a valid heap
+
+    heap_pushes = 0
+    ep_choices = 0
+    non_ep_choices = 0
+
+    for t in graph.entry_tasks:
+        # Entry tasks have no enabling processor and are non-EP with LMT 0.
+        state[t] = _NON_EP
+        heappush(non_ep_heap, (0.0, neg_bl[t], t))
+        heap_pushes += 1
+
+    append_order = order.append
+    for _ in range(n):
+        # Candidate (a): EP task with minimum EST on its enabling processor.
+        while active_heap:
+            est, p = active_heap[0]
+            if active_est[p] == est:
+                break
+            heappop(active_heap)
+        # Candidate (b): non-EP task with minimum LMT, on the earliest-idle
+        # processor.
+        while non_ep_heap and state[non_ep_heap[0][2]] != _NON_EP:
+            heappop(non_ep_heap)
+        while True:
+            idle_prt, idle_proc = all_heap[0]
+            if prt[idle_proc] == idle_prt:
+                break
+            heappop(all_heap)
+
+        if not active_heap and not non_ep_heap:
+            raise SchedulerError("no ready task but schedule incomplete (bug)")
+        # Theorem 3: compare the two candidates; per the paper, ties favour
+        # the non-EP task (ablatable via prefer_non_ep_on_tie).
+        if not non_ep_heap:
+            take_ep = True
+        elif not active_heap:
+            take_ep = False
+        else:
+            ep_est = active_heap[0][0]
+            non_lmt = non_ep_heap[0][0]
+            non_est = non_lmt if non_lmt > idle_prt else idle_prt
+            take_ep = ep_est < non_est if prefer_non_ep_on_tie else ep_est <= non_est
+        if take_ep:
+            proc = active_heap[0][1]
+            est = active_heap[0][0]
+            ep_heap = emt_heaps[proc]
+            while state[ep_heap[0][2]] != _EP:  # pragma: no cover - defensive
+                heappop(ep_heap)
+            task = ep_heap[0][2]
+            ep_choices += 1
+        else:
+            task = non_ep_heap[0][2]
+            non_lmt = non_ep_heap[0][0]
+            proc = idle_proc
+            est = non_lmt if non_lmt > idle_prt else idle_prt
+            non_ep_choices += 1
+
+        # ScheduleTask: batched into the state vectors, no method call.
+        state[task] = _DONE
+        ft = est + (comp[task] if homogeneous else comp[task] / speeds[proc])
+        append_order(task)
+        start[task] = est
+        finish[task] = ft
+        on_proc[task] = proc
+
+        # UpdateTaskLists + UpdateProcLists: PRT(proc) rises to ft; EP tasks
+        # of proc whose LMT fell below it demote to non-EP.
+        prt[proc] = ft
+        heappush(all_heap, (ft, proc))
+        heap_pushes += 1
+        lheap = lmt_heaps[proc]
+        while lheap:
+            entry = lheap[0]
+            if state[entry[2]] != _EP:
+                heappop(lheap)
+                continue
+            if entry[0] >= ft:
+                break
+            heappop(lheap)
+            state[entry[2]] = _NON_EP
+            heappush(non_ep_heap, entry)  # same (LMT, -BL, id) key
+            heap_pushes += 1
+        # Refresh proc's entry in the active list (UpdateProcLists),
+        # inlined from the fast path's refresh_active closure.
+        eheap = emt_heaps[proc]
+        while eheap and state[eheap[0][2]] != _EP:
+            heappop(eheap)
+        if not eheap:
+            active_est[proc] = None
+        else:
+            aest = eheap[0][0]
+            rt = prt[proc]
+            if rt > aest:
+                aest = rt
+            active_est[proc] = aest
+            heappush(active_heap, (aest, proc))
+            heap_pushes += 1
+
+        # UpdateReadyTasks: one fused pass per newly ready successor
+        # computes LMT, EP and EMT-on-EP together (see _flb_fast).
+        for j in range(succ_ptr[task], succ_ptr[task + 1]):
+            succ = succ_ids[j]
+            npreds[succ] -= 1
+            if npreds[succ]:
+                continue
+            b_arr = -1.0
+            b_ft = -1.0
+            b_id = -1
+            b_proc = 0
+            alt = 0.0
+            max_ft = 0.0
+            for i in range(pred_ptr[succ], pred_ptr[succ + 1]):
+                pred = pred_ids[i]
+                ft_p = finish[pred]
+                arr = ft_p + pred_delay[i]
+                pp = on_proc[pred]
+                if ft_p > max_ft:
+                    max_ft = ft_p
+                # Deterministic (arrival, FT, id) tie rule for the EP choice.
+                if arr > b_arr or (
+                    arr == b_arr and (ft_p > b_ft or (ft_p == b_ft and pred > b_id))
+                ):
+                    if pp != b_proc and b_arr > alt:
+                        alt = b_arr
+                    b_arr = arr
+                    b_ft = ft_p
+                    b_id = pred
+                    b_proc = pp
+                elif pp != b_proc and arr > alt:
+                    alt = arr
+            emt = max_ft if max_ft > alt else alt
+            # A task is EP-type iff LMT(t) >= PRT(EP(t)).
+            nbl = neg_bl[succ]
+            if b_arr >= prt[b_proc]:
+                state[succ] = _EP
+                heappush(emt_heaps[b_proc], (emt, nbl, succ))
+                heappush(lmt_heaps[b_proc], (b_arr, nbl, succ))
+                heap_pushes += 2
+                # Refresh b_proc's active entry (inlined refresh_active).
+                eheap = emt_heaps[b_proc]
+                while eheap and state[eheap[0][2]] != _EP:
+                    heappop(eheap)
+                if not eheap:  # pragma: no cover - just pushed an EP entry
+                    active_est[b_proc] = None
+                else:
+                    aest = eheap[0][0]
+                    rt = prt[b_proc]
+                    if rt > aest:
+                        aest = rt
+                    active_est[b_proc] = aest
+                    heappush(active_heap, (aest, b_proc))
+                    heap_pushes += 1
+            else:
+                state[succ] = _NON_EP
+                heappush(non_ep_heap, (b_arr, nbl, succ))
+                heap_pushes += 1
+
+    # Materialize the schedule from the state vectors in one shot.
+    schedule = Schedule._from_arrays(
+        graph, machine, order, on_proc, start, finish, prt
+    )
+    return schedule, (n, heap_pushes, ep_choices, non_ep_choices)

@@ -31,11 +31,16 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Sequence
 
+import numpy as np
+import numpy.typing as npt
+
 from repro.graph.taskgraph import TaskGraph
 
 __all__ = [
     "bottom_levels",
+    "bottom_levels_array",
     "top_levels",
+    "top_levels_array",
     "static_levels",
     "alap_times",
     "critical_path_length",
@@ -48,14 +53,53 @@ __all__ = [
 ]
 
 
+#: Below this task count the scalar sweep beats NumPy's per-call overhead
+#: (each frontier level costs a fixed ~10 array operations, and deep graphs
+#: like LU have many shallow levels); above it the vectorized sweep wins.
+_VECTOR_MIN_TASKS = 16384
+
+IntArray = npt.NDArray[np.int64]
+FloatArray = npt.NDArray[np.float64]
+
+
+def _concat_slices(starts: IntArray, counts: IntArray) -> IntArray:
+    """Indices selecting ``[starts[k], starts[k]+counts[k])`` back to back.
+
+    The standard repeat/cumsum gather: builds the concatenation of many CSR
+    slices without a Python loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return np.repeat(starts, counts) + within
+
+
 def bottom_levels(graph: TaskGraph) -> List[float]:
     """``BL(t)`` for every task (communication included, ``comp(t)`` included).
 
     Runs on the CSR adjacency view: every scheduler computes bottom levels
     up front, so this ``O(V + E)`` sweep is part of each one's hot start.
+    Dispatches to the vectorized frontier sweep for large graphs; both paths
+    produce bit-identical floats (same adds in the same order, and ``max``
+    is order-independent).
     """
     graph.freeze()
-    csr = graph.csr()
+    cached = graph._prop_cache.get("bl")
+    if cached is None:
+        if graph.num_tasks >= _VECTOR_MIN_TASKS:
+            cached = bottom_levels_array(graph).tolist()
+        else:
+            cached = _bottom_levels_py(graph)
+        graph._prop_cache["bl"] = cached
+    # Defensive copy: the memo must survive callers mutating their result.
+    return list(cached)  # type: ignore[call-overload]
+
+
+def _bottom_levels_py(graph: TaskGraph) -> List[float]:
+    """Pure-Python reference sweep over the CSR list mirrors."""
+    csr = graph.csr().lists
     succ_ptr, succ_ids, succ_comm = csr.succ_ptr, csr.succ_ids, csr.succ_comm
     comps = graph.comps
     bl = [0.0] * graph.num_tasks
@@ -69,17 +113,120 @@ def bottom_levels(graph: TaskGraph) -> List[float]:
     return bl
 
 
-def top_levels(graph: TaskGraph) -> List[float]:
-    """``TL(t)`` for every task (communication included, ``comp(t)`` excluded)."""
+def bottom_levels_array(graph: TaskGraph) -> FloatArray:
+    """Vectorized ``BL`` over the CSR: a level-synchronous reverse sweep.
+
+    Kahn's algorithm on *out*-degrees; each frontier batch finalizes every
+    task whose successors are all done, gathering the successor slices in
+    one shot and reducing per task with ``np.maximum.reduceat``.  Performs
+    the same float additions as the scalar sweep (``comm + bl`` per edge,
+    then ``comp + max``), so the results are bit-identical.
+    """
     graph.freeze()
+    cached = graph._prop_cache.get("bl_arr")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    bl_list = graph._prop_cache.get("bl")
+    if bl_list is not None:
+        result = np.asarray(bl_list, dtype=np.float64)
+        graph._prop_cache["bl_arr"] = result
+        return result
+    csr = graph.csr()
+    n = graph.num_tasks
+    comps = graph.comps_array()
+    succ_ptr, succ_ids, succ_comm = csr.succ_ptr, csr.succ_ids, csr.succ_comm
+    pred_ptr, pred_ids = csr.pred_ptr, csr.pred_ids
+    bl = np.zeros(n, dtype=np.float64)
+    best = np.zeros(n, dtype=np.float64)
+    outdeg = np.diff(succ_ptr)
+    frontier = np.flatnonzero(outdeg == 0)
+    while frontier.size:
+        counts = succ_ptr[frontier + 1] - succ_ptr[frontier]
+        rows = frontier[counts > 0]
+        if rows.size:
+            cnt = counts[counts > 0]
+            idx = _concat_slices(succ_ptr[rows], cnt)
+            cand = succ_comm[idx] + bl[succ_ids[idx]]
+            best[rows] = np.maximum.reduceat(cand, np.cumsum(cnt) - cnt)
+        bl[frontier] = comps[frontier] + best[frontier]
+        pidx = _concat_slices(
+            pred_ptr[frontier], pred_ptr[frontier + 1] - pred_ptr[frontier]
+        )
+        if pidx.size == 0:
+            break
+        # One sort handles both deduplication and per-pred decrements.
+        candidates, dec = np.unique(pred_ids[pidx], return_counts=True)
+        outdeg[candidates] -= dec
+        frontier = candidates[outdeg[candidates] == 0]
+    graph._prop_cache["bl_arr"] = bl
+    return bl
+
+
+def top_levels(graph: TaskGraph) -> List[float]:
+    """``TL(t)`` for every task (communication included, ``comp(t)`` excluded).
+
+    Dispatches like :func:`bottom_levels`; both paths are bit-identical.
+    """
+    graph.freeze()
+    cached = graph._prop_cache.get("tl")
+    if cached is None:
+        if graph.num_tasks >= _VECTOR_MIN_TASKS:
+            cached = top_levels_array(graph).tolist()
+        else:
+            cached = _top_levels_py(graph)
+        graph._prop_cache["tl"] = cached
+    return list(cached)  # type: ignore[call-overload]
+
+
+def _top_levels_py(graph: TaskGraph) -> List[float]:
+    """Pure-Python reference sweep over the CSR list mirrors."""
+    csr = graph.csr().lists
+    pred_ptr, pred_ids, pred_comm = csr.pred_ptr, csr.pred_ids, csr.pred_comm
+    comps = graph.comps
     tl = [0.0] * graph.num_tasks
     for t in graph.topological_order:
         best = 0.0
-        for p in graph.preds(t):
-            cand = tl[p] + graph.comp(p) + graph.comm(p, t)
+        for i in range(pred_ptr[t], pred_ptr[t + 1]):
+            p = pred_ids[i]
+            cand = tl[p] + comps[p] + pred_comm[i]
             if cand > best:
                 best = cand
         tl[t] = best
+    return tl
+
+
+def top_levels_array(graph: TaskGraph) -> FloatArray:
+    """Vectorized ``TL``: the forward mirror of :func:`bottom_levels_array`."""
+    graph.freeze()
+    cached = graph._prop_cache.get("tl_arr")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    csr = graph.csr()
+    n = graph.num_tasks
+    comps = graph.comps_array()
+    succ_ptr, succ_ids = csr.succ_ptr, csr.succ_ids
+    pred_ptr, pred_ids, pred_comm = csr.pred_ptr, csr.pred_ids, csr.pred_comm
+    tl = np.zeros(n, dtype=np.float64)
+    indeg = np.diff(pred_ptr)
+    frontier = np.flatnonzero(indeg == 0)
+    while frontier.size:
+        counts = pred_ptr[frontier + 1] - pred_ptr[frontier]
+        rows = frontier[counts > 0]
+        if rows.size:
+            cnt = counts[counts > 0]
+            idx = _concat_slices(pred_ptr[rows], cnt)
+            src = pred_ids[idx]
+            cand = tl[src] + comps[src] + pred_comm[idx]
+            tl[rows] = np.maximum.reduceat(cand, np.cumsum(cnt) - cnt)
+        sidx = _concat_slices(
+            succ_ptr[frontier], succ_ptr[frontier + 1] - succ_ptr[frontier]
+        )
+        if sidx.size == 0:
+            break
+        candidates, dec = np.unique(succ_ids[sidx], return_counts=True)
+        indeg[candidates] -= dec
+        frontier = candidates[indeg[candidates] == 0]
+    graph._prop_cache["tl_arr"] = tl
     return tl
 
 

@@ -19,13 +19,37 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from array import array
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from functools import cached_property
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import CycleError, FrozenGraphError, GraphError
 
-__all__ = ["TaskGraph", "AdjacencyCSR"]
+__all__ = ["TaskGraph", "AdjacencyCSR", "CSRLists"]
+
+IntArray = npt.NDArray[np.int64]
+FloatArray = npt.NDArray[np.float64]
+
+
+class CSRLists(NamedTuple):
+    """The CSR arrays mirrored into plain Python lists.
+
+    CPython indexes a list roughly three times faster than a NumPy array
+    (every ``ndarray[i]`` allocates a NumPy scalar), so the interpreted
+    scheduling kernels run their scalar loops over these mirrors while the
+    vectorized/numba paths use the ndarrays directly.  Built once per frozen
+    graph and cached (:attr:`AdjacencyCSR.lists`).
+    """
+
+    pred_ptr: List[int]
+    pred_ids: List[int]
+    pred_comm: List[float]
+    succ_ptr: List[int]
+    succ_ids: List[int]
+    succ_comm: List[float]
 
 
 @dataclass(frozen=True)
@@ -35,22 +59,42 @@ class AdjacencyCSR:
     Predecessors of task ``t`` are ``pred_ids[pred_ptr[t]:pred_ptr[t+1]]``
     (ascending id order, matching :meth:`TaskGraph.preds`) with the edge's
     communication cost at the same index in ``pred_comm``; ``succ_*`` is the
-    mirrored successor view.  Schedulers' hot loops iterate these arrays with
-    index arithmetic instead of tuple-keyed dictionary lookups — see
-    ``docs/performance.md``.
+    mirrored successor view.  The arrays are contiguous NumPy int64/float64
+    buffers, so the array-native scheduling kernel
+    (:mod:`repro.core.flb_array`), the vectorized graph properties
+    (:mod:`repro.graph.properties`) and the shared-memory graph codec
+    (:mod:`repro.graphstore`) all operate on the one representation without
+    copies; interpreted kernels iterate the cached :attr:`lists` mirrors —
+    see ``docs/performance.md``.
     """
 
-    pred_ptr: array[int]  # array('i'), length V+1
-    pred_ids: array[int]  # array('i'), length E
-    pred_comm: array[float]  # array('d'), length E
-    succ_ptr: array[int]  # array('i'), length V+1
-    succ_ids: array[int]  # array('i'), length E
-    succ_comm: array[float]  # array('d'), length E
+    pred_ptr: IntArray  # int64, length V+1
+    pred_ids: IntArray  # int64, length E
+    pred_comm: FloatArray  # float64, length E
+    succ_ptr: IntArray  # int64, length V+1
+    succ_ids: IntArray  # int64, length E
+    succ_comm: FloatArray  # float64, length E
+
+    @cached_property
+    def lists(self) -> CSRLists:
+        """Plain-list mirrors of the six arrays (cached; read-only by contract)."""
+        return CSRLists(
+            self.pred_ptr.tolist(),
+            self.pred_ids.tolist(),
+            self.pred_comm.tolist(),
+            self.succ_ptr.tolist(),
+            self.succ_ids.tolist(),
+            self.succ_comm.tolist(),
+        )
 
     def in_degrees(self) -> List[int]:
         """Per-task predecessor counts as a plain list (hot-loop friendly)."""
-        ptr = self.pred_ptr
-        return [ptr[t + 1] - ptr[t] for t in range(len(ptr) - 1)]
+        counts: List[int] = np.diff(self.pred_ptr).tolist()
+        return counts
+
+    def in_degrees_array(self) -> IntArray:
+        """Per-task predecessor counts as an int64 vector (array kernels)."""
+        return np.diff(self.pred_ptr)
 
 
 class TaskGraph:
@@ -77,6 +121,8 @@ class TaskGraph:
         "_entries",
         "_exits",
         "_csr",
+        "_comps_np",
+        "_prop_cache",
         "_fingerprint",
     )
 
@@ -91,6 +137,11 @@ class TaskGraph:
         self._entries: Tuple[int, ...] = ()
         self._exits: Tuple[int, ...] = ()
         self._csr: Optional[AdjacencyCSR] = None
+        self._comps_np: Optional[FloatArray] = None
+        # Memoized graph-pure derived quantities (bottom levels, per-machine
+        # edge delays, ...), valid once frozen — the graph is immutable from
+        # then on.  Owned by repro.graph.properties / the scheduling kernels.
+        self._prop_cache: Dict[object, object] = {}
         self._fingerprint: Optional[str] = None
 
     # -- construction -------------------------------------------------------
@@ -158,13 +209,14 @@ class TaskGraph:
         n = len(self._comp)
         if n == 0:
             raise GraphError("task graph has no tasks")
-        succ_lists: List[List[int]] = [[] for _ in range(n)]
-        pred_lists: List[List[int]] = [[] for _ in range(n)]
-        for (src, dst) in self._edges:
-            succ_lists[src].append(dst)
-            pred_lists[dst].append(src)
+        # CSR first (it needs no topological order), then Kahn over its
+        # list mirrors — the adjacency is materialized exactly once.
+        csr = self._compile_csr()
+        lists = csr.lists
+        succ_ptr, succ_ids = lists.succ_ptr, lists.succ_ids
+        pred_ptr, pred_ids = lists.pred_ptr, lists.pred_ids
         # Kahn's algorithm; FIFO over ids keeps the order deterministic.
-        indeg = [len(p) for p in pred_lists]
+        indeg = csr.in_degrees()
         frontier = [t for t in range(n) if indeg[t] == 0]
         topo: List[int] = []
         head = 0
@@ -172,7 +224,8 @@ class TaskGraph:
             t = frontier[head]
             head += 1
             topo.append(t)
-            for s in succ_lists[t]:
+            for j in range(succ_ptr[t], succ_ptr[t + 1]):
+                s = succ_ids[j]
                 indeg[s] -= 1
                 if indeg[s] == 0:
                     frontier.append(s)
@@ -190,35 +243,50 @@ class TaskGraph:
             raise CycleError(
                 f"task graph contains a cycle through tasks {stuck[:10]}"
             )
-        self._succs = [tuple(sorted(s)) for s in succ_lists]
-        self._preds = [tuple(sorted(p)) for p in pred_lists]
+        # CSR slices are already in ascending-id order, so the tuple views
+        # come straight off the mirrors without re-sorting.
+        self._succs = [
+            tuple(succ_ids[succ_ptr[t]:succ_ptr[t + 1]]) for t in range(n)
+        ]
+        self._preds = [
+            tuple(pred_ids[pred_ptr[t]:pred_ptr[t + 1]]) for t in range(n)
+        ]
         self._topo = tuple(topo)
         self._entries = tuple(t for t in range(n) if not self._preds[t])
         self._exits = tuple(t for t in range(n) if not self._succs[t])
-        self._csr = self._compile_csr()
+        self._csr = csr
         self._frozen = True
         return self
 
     def _compile_csr(self) -> AdjacencyCSR:
-        """Flatten the adjacency into CSR arrays (one-time, ``O(V + E)``)."""
+        """Flatten the adjacency into NumPy CSR arrays (one-time, ``O(V + E)``).
+
+        Built directly from the edge dictionary with two ``lexsort`` passes
+        instead of a per-edge Python loop, so freezing a million-task graph
+        costs a handful of vectorized sweeps.  The successor view is sorted
+        by ``(src, dst)`` and the predecessor view by ``(dst, src)`` —
+        exactly the ascending-id slice order of :meth:`succs`/:meth:`preds`.
+        """
         n = len(self._comp)
-        edges = self._edges
-        pred_ptr = array("i", [0]) * (n + 1)
-        pred_ids = array("i")
-        pred_comm = array("d")
-        succ_ptr = array("i", [0]) * (n + 1)
-        succ_ids = array("i")
-        succ_comm = array("d")
-        for t in range(n):
-            for p in self._preds[t]:
-                pred_ids.append(p)
-                pred_comm.append(edges[(p, t)])
-            pred_ptr[t + 1] = len(pred_ids)
-        for t in range(n):
-            for s in self._succs[t]:
-                succ_ids.append(s)
-                succ_comm.append(edges[(t, s)])
-            succ_ptr[t + 1] = len(succ_ids)
+        e = len(self._edges)
+        if e == 0:
+            zeros = np.zeros(n + 1, dtype=np.int64)
+            empty_i = np.zeros(0, dtype=np.int64)
+            empty_f = np.zeros(0, dtype=np.float64)
+            return AdjacencyCSR(zeros, empty_i, empty_f, zeros.copy(), empty_i.copy(), empty_f.copy())
+        src = np.fromiter((k[0] for k in self._edges), dtype=np.int64, count=e)
+        dst = np.fromiter((k[1] for k in self._edges), dtype=np.int64, count=e)
+        comm = np.fromiter(self._edges.values(), dtype=np.float64, count=e)
+        by_src = np.lexsort((dst, src))
+        succ_ids = dst[by_src]
+        succ_comm = comm[by_src]
+        succ_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=succ_ptr[1:])
+        by_dst = np.lexsort((src, dst))
+        pred_ids = src[by_dst]
+        pred_comm = comm[by_dst]
+        pred_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(dst, minlength=n), out=pred_ptr[1:])
         return AdjacencyCSR(pred_ptr, pred_ids, pred_comm, succ_ptr, succ_ids, succ_comm)
 
     # -- queries -------------------------------------------------------------
@@ -248,6 +316,13 @@ class TaskGraph:
     def comps(self) -> Tuple[float, ...]:
         """All computation costs, indexed by task id."""
         return tuple(self._comp)
+
+    def comps_array(self) -> FloatArray:
+        """Computation costs as a float64 vector (cached; frozen graphs only)."""
+        self._check_frozen()
+        if self._comps_np is None:
+            self._comps_np = np.asarray(self._comp, dtype=np.float64)
+        return self._comps_np
 
     def name(self, task: int) -> str:
         name = self._names[task]

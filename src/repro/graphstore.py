@@ -43,10 +43,11 @@ import json
 import os
 import struct
 import weakref
-from array import array
 from collections import OrderedDict
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.exceptions import GraphError
 from repro.graph.taskgraph import TaskGraph
@@ -73,7 +74,10 @@ SEGMENT_PREFIX = "repro_tg"
 WORKER_CACHE_SIZE = max(1, int(os.environ.get("REPRO_GRAPH_CACHE", "4") or 4))
 
 _MAGIC = b"RPTG"
-_VERSION = 1
+#: v2: CSR pointers/ids are int64 (was int32) so the wire format is byte-for-
+#: byte the NumPy buffers ``TaskGraph.freeze()`` holds — encode and the array
+#: scheduling kernel share one representation without a widening copy.
+_VERSION = 2
 _HEADER = struct.Struct("<4sHQQQ")  # magic, version, V, E, names_len
 
 
@@ -91,14 +95,14 @@ def encode_graph(graph: TaskGraph) -> bytes:
 
         header   : magic "RPTG", version, V, E, names_len
         comps    : V   float64
-        pred_ptr : V+1 int32      succ_ptr : V+1 int32
-        pred_ids : E   int32      succ_ids : E   int32
+        pred_ptr : V+1 int64      succ_ptr : V+1 int64
+        pred_ids : E   int64      succ_ids : E   int64
         pred_comm: E   float64    succ_comm: E   float64
         names    : names_len bytes (JSON list; null = unnamed task)
 
-    The six CSR arrays are exactly ``TaskGraph._compile_csr()``'s output,
-    dumped with ``array.tobytes`` — encoding is ``O(V + E)`` memcpy, not a
-    per-object pickle walk.
+    The six CSR arrays are exactly ``TaskGraph._compile_csr()``'s NumPy
+    buffers, dumped with ``ndarray.tobytes`` — encoding is ``O(V + E)``
+    memcpy, not a per-object pickle walk.
     """
     if not graph.frozen:
         raise GraphStoreError("only frozen graphs can be registered; call freeze()")
@@ -109,7 +113,7 @@ def encode_graph(graph: TaskGraph) -> bytes:
     parts = [
         _HEADER.pack(_MAGIC, _VERSION, graph.num_tasks, graph.num_edges,
                      len(names_blob)),
-        array("d", graph._comp).tobytes(),
+        np.asarray(graph._comp, dtype=np.float64).tobytes(),
         csr.pred_ptr.tobytes(),
         csr.pred_ids.tobytes(),
         csr.pred_comm.tobytes(),
@@ -138,22 +142,23 @@ def decode_graph(buf) -> TaskGraph:
         if version != _VERSION:
             raise GraphStoreError(f"unsupported graph segment version {version}")
 
-        def take(typecode: str, count: int, offset: int) -> Tuple[array, int]:
-            arr = array(typecode)
-            nbytes = count * arr.itemsize
+        def take(dtype: type, count: int, offset: int) -> Tuple[np.ndarray, int]:
+            nbytes = count * np.dtype(dtype).itemsize
             if offset + nbytes > len(mv):
                 raise GraphStoreError("truncated graph segment")
-            arr.frombytes(mv[offset:offset + nbytes])
+            # Copy out of the shared mapping: the decoded graph must outlive
+            # the segment (the supervisor may unlink it at any time).
+            arr = np.frombuffer(mv[offset:offset + nbytes], dtype=dtype).copy()
             return arr, offset + nbytes
 
         off = _HEADER.size
-        comps, off = take("d", n, off)
-        _pred_ptr, off = take("i", n + 1, off)
-        _pred_ids, off = take("i", e, off)
-        _pred_comm, off = take("d", e, off)
-        succ_ptr, off = take("i", n + 1, off)
-        succ_ids, off = take("i", e, off)
-        succ_comm, off = take("d", e, off)
+        comps, off = take(np.float64, n, off)
+        _pred_ptr, off = take(np.int64, n + 1, off)
+        _pred_ids, off = take(np.int64, e, off)
+        _pred_comm, off = take(np.float64, e, off)
+        succ_ptr, off = take(np.int64, n + 1, off)
+        succ_ids, off = take(np.int64, e, off)
+        succ_comm, off = take(np.float64, e, off)
         if off + names_len > len(mv):
             raise GraphStoreError("truncated graph segment (names)")
         names = json.loads(bytes(mv[off:off + names_len]).decode())
@@ -167,10 +172,12 @@ def decode_graph(buf) -> TaskGraph:
     g = TaskGraph()
     g._comp = comps.tolist()
     g._names = list(names)
-    edges = g._edges
-    for t in range(n):
-        for k in range(succ_ptr[t], succ_ptr[t + 1]):
-            edges[(t, succ_ids[k])] = succ_comm[k]
+    # One bulk pass instead of a per-edge Python loop: repeat each source id
+    # by its out-degree, then zip against the CSR successor slices.
+    src_rep = np.repeat(np.arange(n, dtype=np.int64), np.diff(succ_ptr))
+    g._edges = dict(
+        zip(zip(src_rep.tolist(), succ_ids.tolist()), succ_comm.tolist())
+    )
     if n:
         g.freeze()
     return g

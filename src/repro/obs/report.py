@@ -29,7 +29,9 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     Returns a dict with ``jobs`` (count/ok/failed/cached, wall stats),
     ``phases`` (per-phase total seconds, share of summed wall, mean),
     ``algos`` (per-algorithm job count and wall), ``failures`` (count per
-    ``error_kind``) and ``spans`` (every non-job event name: count, total
+    ``error_kind``), ``kernels`` (scheduling-backend usage gathered from
+    ``batch.job`` and ``sched.kernel`` events: ``object`` / ``array`` /
+    ``numba``) and ``spans`` (every non-job event name: count, total
     seconds).
     """
     jobs = [e for e in events if e["name"] == JOB_EVENT]
@@ -56,10 +58,20 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             kind = str(attrs.get("error_kind") or "unknown")
             failures[kind] = failures.get(kind, 0) + 1
 
+    kernels: Dict[str, int] = {}
+    for e in jobs:
+        kernel = e["attrs"].get("kernel")
+        if kernel is not None:
+            kernels[str(kernel)] = kernels.get(str(kernel), 0) + 1
+
     spans: Dict[str, Dict[str, float]] = {}
     for e in events:
         if e["name"] == JOB_EVENT:
             continue
+        if e["name"] == "sched.kernel":
+            kernel = e["attrs"].get("kernel")
+            if kernel is not None:
+                kernels[str(kernel)] = kernels.get(str(kernel), 0) + 1
         stats = spans.setdefault(str(e["name"]), {"count": 0.0, "seconds": 0.0})
         stats["count"] += 1
         stats["seconds"] += float(e["dur"])
@@ -98,6 +110,7 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             for algo, st in sorted(algo_stats.items())
         ],
         "failures": dict(sorted(failures.items())),
+        "kernels": dict(sorted(kernels.items())),
         "spans": [
             {"name": name, "count": int(st["count"]), "seconds": st["seconds"]}
             for name, st in sorted(spans.items())
@@ -155,6 +168,11 @@ def render_report(events: List[Dict[str, Any]]) -> str:
             )
     else:
         blocks.append("no batch.job events in this trace")
+    if summary["kernels"]:
+        usage = ", ".join(
+            f"{kernel}: {count}" for kernel, count in summary["kernels"].items()
+        )
+        blocks.append(f"scheduling backend: {usage}")
     if summary["spans"]:
         blocks.append(
             format_table(

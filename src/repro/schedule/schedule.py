@@ -126,6 +126,45 @@ class Schedule:
             self._prt[proc] = finish
         return finish
 
+    @classmethod
+    def _from_arrays(
+        cls,
+        graph: TaskGraph,
+        machine: MachineModel,
+        order: List[int],
+        proc: List[int],
+        start: List[float],
+        finish: List[float],
+        prt: List[float],
+    ) -> "Schedule":
+        """Bulk constructor for the array kernels (``docs/performance.md``).
+
+        ``order`` is the placement order; ``proc``, ``start`` and ``finish``
+        are task-indexed lists the schedule takes ownership of; ``prt`` is
+        the per-processor ready time after the last placement.  The caller
+        guarantees what :meth:`place` checks (each task placed once,
+        non-insertion starts, ``finish = start + duration``); the
+        equivalence suite re-checks kernel outputs from first principles
+        via :meth:`violations`.
+        """
+        self = cls.__new__(cls)
+        self._graph = graph
+        self._machine = machine
+        self._proc = proc
+        self._start = start
+        self._finish = finish
+        n = graph.num_tasks
+        placed = [False] * n
+        proc_tasks: List[List[int]] = [[] for _ in machine.procs]
+        for t in order:
+            placed[t] = True
+            proc_tasks[proc[t]].append(t)
+        self._placed = placed
+        self._num_placed = len(order)
+        self._proc_tasks = proc_tasks
+        self._prt = prt
+        return self
+
     def _insertion_position(
         self, proc: int, start: float, finish: float, task: int
     ) -> int:

@@ -46,7 +46,7 @@ def etf(
     schedule = Schedule(graph, machine)
     bl = bottom_levels(graph)
     n = graph.num_tasks
-    csr = graph.csr()
+    csr = graph.csr().lists
     pred_ptr, pred_ids, pred_comm = csr.pred_ptr, csr.pred_ids, csr.pred_comm
     succ_ptr, succ_ids = csr.succ_ptr, csr.succ_ids
     lat, scale = machine.latency, machine.comm_scale
@@ -54,7 +54,8 @@ def etf(
 
     finish = [0.0] * n
     on_proc = [0] * n
-    npreds = csr.in_degrees()
+    pp = csr.pred_ptr
+    npreds = [pp[t + 1] - pp[t] for t in range(n)]
     prt = [0.0] * machine.num_procs
     ready = list(graph.entry_tasks)
 

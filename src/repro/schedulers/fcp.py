@@ -48,7 +48,7 @@ def fcp(
     schedule = Schedule(graph, machine)
     bl = bottom_levels(graph)
     n = graph.num_tasks
-    csr = graph.csr()
+    csr = graph.csr().lists
     pred_ptr, pred_ids, pred_comm = csr.pred_ptr, csr.pred_ids, csr.pred_comm
     succ_ptr, succ_ids = csr.succ_ptr, csr.succ_ids
     lat, scale = machine.latency, machine.comm_scale
@@ -66,7 +66,8 @@ def fcp(
     lmt = [0.0] * n
     ep = [0] * n
     emt_ep = [0.0] * n
-    npreds = csr.in_degrees()
+    pp = csr.pred_ptr
+    npreds = [pp[t + 1] - pp[t] for t in range(n)]
 
     while ready:
         _, task = heappop(ready)

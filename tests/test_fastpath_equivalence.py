@@ -221,6 +221,113 @@ def test_etf_fcp_brute_on_machine_variants():
 
 
 # ---------------------------------------------------------------------------
+# Array kernels: object / array / interpreted-njit-kernel (/ numba) matrix
+# ---------------------------------------------------------------------------
+
+
+def _kernel_backends():
+    """Every FLB implementation that must agree bit-for-bit, as
+    (label, callable(graph, procs, machine, prefer)) pairs.  The njit
+    source is always exercised under the interpreter; the compiled form is
+    added when numba is importable."""
+    from repro.core.flb_array import (
+        _flb_array_run_interpreted,
+        flb_array,
+        numba_available,
+    )
+
+    backends = [
+        ("object", lambda g, p, m, pref: flb(
+            g, p, machine=m, prefer_non_ep_on_tie=pref)),
+        ("seed", lambda g, p, m, pref: _flb_observed(
+            g, resolve_machine(p, m), None, pref)),
+        ("array", lambda g, p, m, pref: flb_array(
+            g, p, machine=m, prefer_non_ep_on_tie=pref, backend="array")),
+        ("kernel-interpreted", lambda g, p, m, pref: _flb_array_run_interpreted(
+            g, resolve_machine(p, m), pref)[0]),
+    ]
+    if numba_available():
+        backends.append(
+            ("numba", lambda g, p, m, pref: flb_array(
+                g, p, machine=m, prefer_non_ep_on_tie=pref, backend="numba"))
+        )
+    return backends
+
+
+@pytest.mark.parametrize("v,density", [(20, 0.3), (80, 0.12), (200, 0.05)])
+@pytest.mark.parametrize("procs", [1, 2, 8, 32])
+def test_kernel_matrix_on_random_dags(v, density, procs):
+    graph = erdos_dag(v, density, make_rng(v * 31 + procs), ccr=1.0)
+    backends = _kernel_backends()
+    ref_label, ref_fn = backends[0]
+    ref = ref_fn(graph, procs, None, True)
+    for label, fn in backends[1:]:
+        assert_bit_identical(
+            ref, fn(graph, procs, None, True), f"{ref_label} vs {label}"
+        )
+
+
+@pytest.mark.parametrize(
+    "machine",
+    [
+        MachineModel(3, latency=0.5),
+        MachineModel(4, comm_scale=2.5),
+        MachineModel(4, speeds=(1.0, 2.0, 0.5, 1.5)),
+        MachineModel(3, latency=0.1, comm_scale=1.5, speeds=(2.0, 1.0, 1.0)),
+    ],
+)
+@pytest.mark.parametrize("prefer", [True, False])
+def test_kernel_matrix_on_machine_variants(machine, prefer):
+    graph = layered_random(7, 6, make_rng(11), edge_density=0.3, ccr=2.0)
+    backends = _kernel_backends()
+    ref = backends[0][1](graph, None, machine, prefer)
+    for label, fn in backends[1:]:
+        assert_bit_identical(
+            ref, fn(graph, None, machine, prefer), f"object vs {label}"
+        )
+
+
+def test_kernel_fuzz_200_random_dags_with_certify():
+    """200-graph fuzz sweep: every backend agrees with the object kernel on
+    every graph, and the array schedule passes the independent certifier
+    (structural invariants S001.. plus the FLB greedy certificate F001/F002).
+    """
+    from repro.verify import certify as certify_schedule
+    from repro.verify import greedy_flavor
+    from repro.workloads import fork_join
+
+    backends = _kernel_backends()
+    flavor = greedy_flavor("flb")
+    for i in range(200):
+        rng = make_rng(10_000 + i)
+        kind = i % 3
+        if kind == 0:
+            graph = erdos_dag(
+                10 + (i * 7) % 50, 0.08 + (i % 5) * 0.06, rng,
+                ccr=(0.2, 1.0, 5.0)[i % 3],
+            )
+        elif kind == 1:
+            graph = layered_random(
+                2 + i % 6, 2 + i % 5, rng, edge_density=0.15 + (i % 4) * 0.2,
+                ccr=(0.2, 1.0, 5.0)[(i // 3) % 3],
+            )
+        else:
+            graph = fork_join(1 + i % 4, 2 + i % 6, rng)
+        procs = (1, 2, 3, 8)[i % 4]
+        prefer = (i // 2) % 2 == 0
+        ref = backends[0][1](graph, procs, None, prefer)
+        schedules = {"object": ref}
+        for label, fn in backends[1:]:
+            schedules[label] = fn(graph, procs, None, prefer)
+            assert_bit_identical(
+                ref, schedules[label], f"fuzz graph {i}: object vs {label}"
+            )
+        if prefer:  # the certifier's greedy certificate assumes the paper rule
+            cert = certify_schedule(schedules["array"], flavor=flavor)
+            assert cert.ok, f"fuzz graph {i}: {[v.code for v in cert.violations]}"
+
+
+# ---------------------------------------------------------------------------
 # Hypothesis sweep
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,182 @@
+"""Kernel selection semantics for the array-native FLB plane.
+
+``resolve_kernel`` is the single decision point every entry point routes
+through (``SchedulingOptions.kernel``, ``REPRO_KERNEL``, the CLI
+``--kernel`` flag).  These tests pin its contract:
+
+* ``auto`` picks the fastest available backend: numba when importable,
+  the interpreted array kernel otherwise (object is never auto-picked —
+  the array kernel needs only NumPy, a hard dependency).
+* ``REPRO_KERNEL`` beats the in-code request (deployment override).
+* An explicit ``numba`` request without numba warns exactly once per
+  process, then falls back to ``array``; ``auto`` falls back silently.
+* Invalid values raise :class:`KernelSelectionError` naming the valid set.
+
+The probe/latch state is module-global, so every test resets it via
+``_reset_kernel_state`` and monkeypatches ``_numba_probe`` instead of
+relying on whether the test environment has numba installed.
+"""
+
+import warnings
+
+import pytest
+
+import repro.core.flb_array as flb_array_mod
+from repro.api import SchedulingOptions, schedule_graph
+from repro.core.flb import flb
+from repro.core.flb_array import (
+    KERNEL_CHOICES,
+    KernelSelectionError,
+    numba_available,
+    resolve_kernel,
+)
+from repro.util.rng import make_rng
+from repro.workloads import erdos_dag
+
+
+@pytest.fixture(autouse=True)
+def fresh_kernel_state(monkeypatch):
+    """Isolate the probe cache / warn-once latch and the env override."""
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    flb_array_mod._reset_kernel_state()
+    yield
+    flb_array_mod._reset_kernel_state()
+
+
+def _force_numba(monkeypatch, present: bool) -> None:
+    monkeypatch.setattr(flb_array_mod, "_numba_probe", present)
+
+
+class TestAutoOrder:
+    def test_auto_picks_numba_when_available(self, monkeypatch):
+        _force_numba(monkeypatch, True)
+        assert resolve_kernel("auto") == "numba"
+
+    def test_auto_falls_back_to_array_without_numba(self, monkeypatch):
+        _force_numba(monkeypatch, False)
+        assert resolve_kernel("auto") == "array"
+
+    def test_auto_never_resolves_to_object(self, monkeypatch):
+        for present in (True, False):
+            _force_numba(monkeypatch, present)
+            assert resolve_kernel("auto") != "object"
+
+    def test_default_request_is_auto(self, monkeypatch):
+        _force_numba(monkeypatch, False)
+        assert resolve_kernel() == "array"
+
+    def test_explicit_choices_pass_through(self, monkeypatch):
+        _force_numba(monkeypatch, True)
+        assert resolve_kernel("object") == "object"
+        assert resolve_kernel("array") == "array"
+        assert resolve_kernel("numba") == "numba"
+
+
+class TestEnvOverride:
+    def test_env_beats_argument(self, monkeypatch):
+        _force_numba(monkeypatch, True)
+        monkeypatch.setenv("REPRO_KERNEL", "object")
+        assert resolve_kernel("numba") == "object"
+
+    def test_env_is_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "ARRAY")
+        assert resolve_kernel("object") == "array"
+
+    def test_env_auto_still_resolves(self, monkeypatch):
+        _force_numba(monkeypatch, False)
+        monkeypatch.setenv("REPRO_KERNEL", "auto")
+        assert resolve_kernel("object") == "array"
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "cuda")
+        with pytest.raises(KernelSelectionError, match="REPRO_KERNEL"):
+            resolve_kernel("array")
+
+    def test_empty_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "  ")
+        assert resolve_kernel("object") == "object"
+
+    def test_env_routes_schedule_graph(self, monkeypatch):
+        graph = erdos_dag(40, 0.2, make_rng(5))
+        monkeypatch.setenv("REPRO_KERNEL", "array")
+        ref = flb(graph, 4)
+        sched = schedule_graph(graph, SchedulingOptions(procs=4, kernel="object"))
+        assert sched.makespan == ref.makespan
+        assert all(
+            sched.proc_of(t) == ref.proc_of(t)
+            and sched.start_of(t) == ref.start_of(t)
+            for t in range(graph.num_tasks)
+        )
+
+
+class TestMissingNumba:
+    def test_explicit_numba_warns_exactly_once(self, monkeypatch):
+        _force_numba(monkeypatch, False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert resolve_kernel("numba") == "array"
+            assert resolve_kernel("numba") == "array"
+            assert resolve_kernel("numba") == "array"
+        fallback = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(fallback) == 1
+        assert "numba is not installed" in str(fallback[0].message)
+
+    def test_auto_fallback_is_silent(self, monkeypatch):
+        _force_numba(monkeypatch, False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert resolve_kernel("auto") == "array"
+        assert not caught
+
+    def test_fallback_schedule_is_still_bit_identical(self, monkeypatch):
+        _force_numba(monkeypatch, False)
+        graph = erdos_dag(35, 0.2, make_rng(9))
+        ref = flb(graph, 3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            sched = schedule_graph(
+                graph, SchedulingOptions(procs=3, kernel="numba")
+            )
+        assert sched.makespan == ref.makespan
+
+    def test_fallback_counts_in_metrics(self, monkeypatch):
+        from repro.obs.metrics import MetricsRegistry
+
+        _force_numba(monkeypatch, False)
+        reg = MetricsRegistry()
+        graph = erdos_dag(25, 0.2, make_rng(2))
+        flb_array_mod.flb_array(graph, 2, backend="numba", metrics=reg)
+        assert reg.total("flb_kernel_fallback_total") == 1.0
+        assert reg.total("flb_kernel_backend_total") == 1.0
+
+
+class TestInvalidValues:
+    def test_invalid_request_raises_named_error(self):
+        with pytest.raises(KernelSelectionError) as exc:
+            resolve_kernel("vectorized")
+        for choice in KERNEL_CHOICES:
+            assert choice in str(exc.value)
+
+    def test_invalid_options_field_raises(self):
+        with pytest.raises(KernelSelectionError):
+            SchedulingOptions(kernel="gpu")
+
+    def test_error_is_a_scheduler_error(self):
+        from repro.exceptions import SchedulerError
+
+        assert issubclass(KernelSelectionError, SchedulerError)
+
+
+class TestProbe:
+    def test_probe_is_cached(self, monkeypatch):
+        calls = []
+        real = flb_array_mod._importlib_util.find_spec
+
+        def counting(name):
+            calls.append(name)
+            return real(name)
+
+        monkeypatch.setattr(flb_array_mod._importlib_util, "find_spec", counting)
+        numba_available()
+        numba_available()
+        assert calls.count("numba") == 1

@@ -77,6 +77,78 @@ class TestGateLogic:
             )
 
 
+class TestBaselineHistory:
+    def test_bootstrap_starts_history(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        run_gate(current=_current(1000.0), baseline_path=path)
+        stored = json.loads(path.read_text())
+        assert [h["tasks_per_s"] for h in stored["history"]] == [1000.0]
+        assert all("recorded" in h for h in stored["history"])
+
+    def test_rebaseline_appends_not_replaces(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        run_gate(current=_current(1000.0), baseline_path=path)
+        run_gate(current=_current(4000.0), baseline_path=path,
+                 update_baseline=True)
+        run_gate(current=_current(10000.0), baseline_path=path,
+                 update_baseline=True)
+        stored = json.loads(path.read_text())
+        assert [h["tasks_per_s"] for h in stored["history"]] == [
+            1000.0, 4000.0, 10000.0,
+        ]
+        # The gate judges against the latest entry.
+        assert stored["baseline"]["tasks_per_s"] == 10000.0
+
+    def test_plain_runs_do_not_grow_history(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        run_gate(current=_current(1000.0), baseline_path=path)
+        run_gate(current=_current(1100.0), baseline_path=path)
+        run_gate(current=_current(900.0), baseline_path=path)
+        stored = json.loads(path.read_text())
+        assert len(stored["history"]) == 1
+
+    def test_gate_floor_follows_latest_history_entry(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        run_gate(current=_current(1000.0), baseline_path=path)
+        run_gate(current=_current(4000.0), baseline_path=path,
+                 update_baseline=True)
+        # 3300 clears the old 1000-baseline but not the ratcheted 4000 one.
+        result = run_gate(
+            current=_current(3300.0), baseline_path=path, tolerance=0.10
+        )
+        assert not result.ok
+        assert result.threshold == pytest.approx(3600.0)
+
+    def test_pre_history_file_is_migrated(self, tmp_path):
+        path = tmp_path / "BENCH_sched.json"
+        path.write_text(json.dumps({
+            "benchmark": "flb-scheduling-throughput",
+            "baseline": _current(1000.0),
+            "current": _current(1000.0),
+        }))
+        run_gate(current=_current(950.0), baseline_path=path)
+        stored = json.loads(path.read_text())
+        assert [h["tasks_per_s"] for h in stored["history"]] == [1000.0]
+        assert stored["baseline"]["tasks_per_s"] == 1000.0
+
+    def test_pre_history_rebaseline_keeps_old_entry(self, tmp_path):
+        """Re-baselining a pre-history file must not discard its old floor."""
+        path = tmp_path / "BENCH_sched.json"
+        path.write_text(json.dumps({
+            "benchmark": "flb-scheduling-throughput",
+            "baseline": _current(1000.0),
+            "current": _current(1000.0),
+        }))
+        run_gate(
+            current=_current(5000.0), baseline_path=path, update_baseline=True
+        )
+        stored = json.loads(path.read_text())
+        assert [h["tasks_per_s"] for h in stored["history"]] == [
+            1000.0, 5000.0,
+        ]
+        assert stored["baseline"]["tasks_per_s"] == 5000.0
+
+
 @pytest.mark.perfgate
 def test_measure_throughput_smoke(tmp_path):
     """A real (small) measurement flows through the gate end to end."""

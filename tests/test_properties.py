@@ -204,3 +204,69 @@ def test_property_bottom_level_dominates_succs(n, p, seed):
             assert bl[t] == pytest.approx(g.comp(t) + best)
         else:
             assert bl[t] == pytest.approx(g.comp(t))
+
+
+class TestVectorizedLevels:
+    """The CSR frontier sweeps (``bottom_levels_array`` / ``top_levels_array``)
+    must be bit-identical to the pure-Python recurrences they accelerate —
+    both compute ``comp + max(comm + level)`` over the same CSR slices, so
+    ``==`` applies, never ``approx``."""
+
+    def _graphs(self):
+        yield paper_example()
+        yield chain(30, make_rng(1))
+        yield independent_tasks(20, make_rng(2))
+        yield fft(8, make_rng(3), ccr=5.0)
+        for seed, density in ((4, 0.05), (5, 0.2), (6, 0.5)):
+            yield erdos_dag(80, density, make_rng(seed), ccr=(0.2, 1.0, 5.0)[seed % 3])
+        yield layered_random(12, 9, make_rng(7), edge_density=0.3, ccr=2.0)
+
+    def test_bottom_levels_array_bit_identical(self):
+        from repro.graph.properties import _bottom_levels_py, bottom_levels_array
+
+        for g in self._graphs():
+            g.freeze()
+            assert bottom_levels_array(g).tolist() == _bottom_levels_py(g)
+
+    def test_top_levels_array_bit_identical(self):
+        from repro.graph.properties import _top_levels_py, top_levels_array
+
+        for g in self._graphs():
+            g.freeze()
+            assert top_levels_array(g).tolist() == _top_levels_py(g)
+
+    def test_dispatch_uses_array_path_above_threshold(self, monkeypatch):
+        import repro.graph.properties as props
+
+        monkeypatch.setattr(props, "_VECTOR_MIN_TASKS", 0)
+        g = erdos_dag(60, 0.15, make_rng(11), ccr=1.0)
+        g.freeze()
+        assert props.bottom_levels(g) == props._bottom_levels_py(g)
+        assert props.top_levels(g) == props._top_levels_py(g)
+
+    def test_cached_results_are_defensive_copies(self):
+        g = erdos_dag(40, 0.2, make_rng(12))
+        g.freeze()
+        first = bottom_levels(g)
+        first[0] = -123.0
+        assert bottom_levels(g)[0] != -123.0
+        tl = top_levels(g)
+        tl[0] = -123.0
+        assert top_levels(g)[0] != -123.0
+
+    def test_hypothesis_like_sweep(self):
+        from repro.graph.properties import (
+            _bottom_levels_py,
+            _top_levels_py,
+            bottom_levels_array,
+            top_levels_array,
+        )
+
+        for seed in range(25):
+            g = erdos_dag(
+                5 + seed * 3, 0.05 + (seed % 5) * 0.1, make_rng(100 + seed),
+                ccr=(0.2, 1.0, 5.0)[seed % 3],
+            )
+            g.freeze()
+            assert bottom_levels_array(g).tolist() == _bottom_levels_py(g)
+            assert top_levels_array(g).tolist() == _top_levels_py(g)
