@@ -13,6 +13,10 @@ Public API (snapshot-tested in ``tests/test_public_api.py``):
 * :func:`repro.schedule_graph` — schedule one graph in-process.
 * :func:`repro.schedule_many` / :class:`repro.BatchScheduler` — the batch
   serving front-end over supervised worker processes (:mod:`repro.batch`).
+* :class:`repro.ServeConfig` / :class:`repro.BackgroundServer` — the HTTP
+  scheduling service over a ``BatchScheduler`` (:mod:`repro.serve`, run it
+  with ``repro-sched serve`` or :func:`repro.serve.serve`): admission
+  control, weighted-fair tenancy, coalescing, graceful drain.
 * :func:`repro.lint` / :func:`repro.certify` — the verification plane
   (:mod:`repro.verify`): DAG linting before, independent certification after.
 * :class:`repro.MetricsRegistry` — the observability plane
@@ -44,6 +48,8 @@ __all__ = [
     "MetricsRegistry",
     "lint",
     "certify",
+    "ServeConfig",
+    "BackgroundServer",
 ]
 
 #: Lazily imported public names: attribute -> (module, attribute there).
@@ -55,6 +61,8 @@ _LAZY = {
     "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
     "lint": ("repro.verify", "lint"),
     "certify": ("repro.verify", "certify"),
+    "ServeConfig": ("repro.serve", "ServeConfig"),
+    "BackgroundServer": ("repro.serve", "BackgroundServer"),
 }
 
 

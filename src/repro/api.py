@@ -54,7 +54,14 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.machine.model import MachineModel
     from repro.schedule.schedule import Schedule
 
-__all__ = ["SchedulingOptions", "schedule_graph", "UNSET", "resolve_options"]
+__all__ = [
+    "SchedulingOptions",
+    "schedule_graph",
+    "schedule_graph_async",
+    "resolve_job_kernel",
+    "UNSET",
+    "resolve_options",
+]
 
 
 class _Unset:
@@ -144,6 +151,55 @@ def resolve_options(
             stacklevel=stacklevel,
         )
     return opts
+
+
+def resolve_job_kernel(algo: str, kernel: str) -> str:
+    """The backend that will actually serve an ``(algo, kernel)`` request.
+
+    This is the supervisor-side twin of the decision every execution path
+    makes (``schedule_graph``, the batch worker body, the serving plane):
+    non-FLB algorithms and registry overrides of ``"flb"`` always run the
+    ``object`` path; FLB requests resolve through
+    :func:`repro.core.flb_array.resolve_kernel` (honouring ``REPRO_KERNEL``
+    and the numba fallback).  Result-cache and request-coalescing keys are
+    built from this resolved name so that cached results can never
+    misreport the backend that computed them, and so that ``auto`` and its
+    resolution share one cache entry.
+    """
+    if algo != "flb":
+        return "object"
+    from repro.core.flb_array import resolve_kernel, stock_flb_registered
+
+    if not stock_flb_registered():
+        return "object"
+    return resolve_kernel(kernel)
+
+
+async def schedule_graph_async(
+    graph: "TaskGraph",
+    options: Optional[SchedulingOptions] = None,
+    *,
+    machine: Optional["MachineModel"] = None,
+    **kwargs: Any,
+) -> "Schedule":
+    """Async-friendly :func:`schedule_graph`: runs the (CPU-bound,
+    GIL-holding-in-bursts) kernel in the default thread executor so an
+    asyncio event loop — e.g. the :mod:`repro.serve` front-end — stays
+    responsive while a schedule is computed.
+
+    Semantics are exactly :func:`schedule_graph` with the canonical
+    ``options`` spelling; legacy keywords are not accepted here (this
+    entry point is newer than the deprecation).
+    """
+    import asyncio
+    import functools
+
+    return await asyncio.get_running_loop().run_in_executor(
+        None,
+        functools.partial(
+            schedule_graph, graph, options=options, machine=machine, **kwargs
+        ),
+    )
 
 
 def schedule_graph(

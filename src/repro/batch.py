@@ -58,11 +58,12 @@ import traceback
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.api import UNSET, SchedulingOptions, resolve_options
+from repro.api import UNSET, SchedulingOptions, resolve_job_kernel, resolve_options
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.model import MachineModel
 from repro.obs.metrics import MetricsRegistry
 from repro.resultcache import DEFAULT_CACHE_SIZE, ResultCache
+from repro.resultcache import make_key as make_cache_key
 from repro import graphstore, workerpool
 
 __all__ = [
@@ -303,6 +304,8 @@ def _cache_key(
     certify: bool,
     fingerprints: Dict[int, str],
     store: Optional["graphstore.GraphStore"],
+    kernels: Dict[str, str],
+    kernel: str = "auto",
 ):
     """Result-cache key for a job, or ``None`` when the job is uncacheable.
 
@@ -311,7 +314,10 @@ def _cache_key(
     batch of N jobs over one graph hashes it once.  ``certify`` is part of
     the key: a certified result answers strictly more than an uncertified
     one, and the cache never serves the weaker answer for the stronger
-    request.
+    request.  The *resolved* kernel backend is part of the key too
+    (``kernels`` memoises per algo): the FLB backends are bit-identical,
+    but ``BatchResult.kernel`` reports which one ran, and a cached entry
+    must never misreport the backend that computed it.
     """
     if job.machine is not None:
         return None
@@ -326,7 +332,11 @@ def _cache_key(
             return None
     else:
         return None
-    return (fp, job.procs, job.algo, validate, certify)
+    resolved = kernels.get(job.algo)
+    if resolved is None:
+        resolved = resolve_job_kernel(job.algo, kernel)
+        kernels[job.algo] = resolved
+    return make_cache_key(fp, job.procs, job.algo, validate, certify, resolved)
 
 
 def schedule_many(
@@ -464,6 +474,7 @@ def schedule_many(
 
     results: List[Optional[BatchResult]] = [None] * len(jobs)
     fingerprints: Dict[int, str] = {}
+    resolved_kernels: Dict[str, str] = {}  # algo -> resolved backend (memo)
     keys: List[Optional[tuple]] = [None] * len(jobs)
     use_cache = cache is not None and cache.enabled
 
@@ -478,7 +489,10 @@ def schedule_many(
     dispatch: List[int] = []
     coalesced: Dict[tuple, List[int]] = {}
     for i, job in enumerate(jobs):
-        keys[i] = _cache_key(job, validate, certify, fingerprints, store)
+        keys[i] = _cache_key(
+            job, validate, certify, fingerprints, store,
+            resolved_kernels, kernel,
+        )
         if use_cache:
             hit = cache.get(keys[i])
             if hit is not None:
@@ -917,6 +931,22 @@ class BatchScheduler:
         self._results_seen += len(results)
         self._failed_seen += sum(1 for r in results if not r.ok)
         return results
+
+    def run_one(
+        self,
+        job: BatchJob,
+        options: Optional[SchedulingOptions] = None,
+    ) -> BatchResult:
+        """Schedule a single job through the shared registry and cache.
+
+        The submission hook for request-at-a-time front-ends — notably the
+        :mod:`repro.serve` asyncio service, which calls it through
+        ``asyncio.to_thread`` so one blocking call serves one request
+        without stalling the event loop.  Single-job batches always run on
+        the inline path (no pool round-trip), and cache/coalescing
+        semantics are exactly :meth:`run`'s.
+        """
+        return self.run([job], options=options)[0]
 
     def stats(self) -> Dict[str, int]:
         """Cumulative serving counters: dispatch accounting (``jobs``,

@@ -9,6 +9,7 @@ Subcommands::
     lint        statically analyse a task graph (rule codes G001..)
     certify     schedule, then independently verify the result (S/F codes)
     batch       schedule many jobs across supervised worker processes
+    serve       run the HTTP scheduling service (see docs/serving.md)
     report      render a human summary from a --trace-out JSONL trace
     experiment  regenerate the paper's tables/figures and the ablations
 
@@ -311,6 +312,32 @@ def build_parser() -> argparse.ArgumentParser:
                          "after the batch")
     _add_obs_args(p_batch, json_help="emit the per-job results as JSON",
                   trace=True)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP scheduling service until SIGTERM"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8423,
+                         help="bind port; 0 picks an ephemeral port and "
+                         "prints it (default: 8423)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="scheduler worker processes (default: inline)")
+    p_serve.add_argument("--max-backlog", type=int, default=64,
+                         help="admission limit on queued + in-flight jobs; "
+                         "beyond it requests shed with 429 + Retry-After "
+                         "(default: 64)")
+    p_serve.add_argument("--tenant-weight", action="append", default=[],
+                         metavar="TENANT=WEIGHT",
+                         help="fair-queue weight for a tenant (repeatable); "
+                         "unknown tenants get weight 1.0")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-job execution budget in seconds")
+    p_serve.add_argument("--validate", action="store_true",
+                         help="re-check every schedule from first principles")
+    p_serve.add_argument("--certify", action="store_true",
+                         help="run the independent checker on every schedule")
+    _add_kernel_arg(p_serve)
 
     p_report = sub.add_parser(
         "report", help="render a human summary from a --trace-out JSONL trace"
@@ -677,6 +704,42 @@ def _cmd_batch(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args) -> int:
+    """Exit codes: 0 = clean drain after SIGTERM/SIGINT, 2 = bad flags."""
+    from repro.api import SchedulingOptions
+    from repro.serve import ServeConfig, serve
+
+    weights = {}
+    for spec in args.tenant_weight:
+        tenant, sep, value = spec.partition("=")
+        try:
+            if not sep or not tenant:
+                raise ValueError(spec)
+            weights[tenant] = float(value)
+        except ValueError:
+            print(f"bad --tenant-weight {spec!r}; expected TENANT=WEIGHT",
+                  file=sys.stderr)
+            return 2
+    options = SchedulingOptions(
+        timeout=args.timeout, validate=args.validate,
+        certify=args.certify, kernel=args.kernel,
+    )
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, workers=args.workers,
+            max_backlog=args.max_backlog, tenant_weights=weights,
+            options=options,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        serve(config)
+    except KeyboardInterrupt:
+        pass  # ctrl-C before the loop's own handler was installed
+    return 0
+
+
 def _cmd_report(args) -> int:
     """Exit codes: 0 = trace summarised, 2 = unreadable/invalid trace."""
     import json as _json
@@ -698,6 +761,7 @@ def _cmd_report(args) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
     "schedule": _cmd_schedule,
     "compare": _cmd_compare,
     "trace": _cmd_trace,

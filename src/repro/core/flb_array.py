@@ -65,6 +65,7 @@ from repro.schedule.schedule import Schedule
 __all__ = [
     "flb_array",
     "resolve_kernel",
+    "reset_kernel_state",
     "numba_available",
     "KernelSelectionError",
     "KERNEL_CHOICES",
@@ -141,11 +142,27 @@ def resolve_kernel(requested: Optional[str] = None) -> str:
     return value
 
 
-def _reset_kernel_state() -> None:
-    """Forget the numba probe and the warn-once latch (test helper)."""
+def reset_kernel_state() -> None:
+    """Forget the cached numba probe and the warn-once fallback latch.
+
+    Both are process-global module state (deliberately: the probe is a
+    metadata lookup worth caching, and the fallback warning would otherwise
+    spam once per request on a numba-less host).  Global state leaks across
+    embedder instances and across test cases, though: after one explicit
+    ``kernel="numba"`` request has warned, every later
+    :class:`~repro.batch.BatchScheduler` in the same process silently gets
+    the ``array`` fallback with no hint why.  Long-lived embedders that
+    want the warning per scheduler — and test fixtures that need isolation
+    (``tests/test_kernel_selection.py`` resets around every test) — call
+    this to restore the pristine state.
+    """
     global _numba_probe, _numba_fallback_warned
     _numba_probe = None
     _numba_fallback_warned = False
+
+
+#: Backwards-compatible alias (the pre-public spelling used by tests).
+_reset_kernel_state = reset_kernel_state
 
 
 def stock_flb_registered() -> bool:

@@ -21,7 +21,7 @@ docs/observability.md.
 
 from __future__ import annotations
 
-from repro.obs.instruments import KernelMetricsObserver
+from repro.obs.instruments import KernelMetricsObserver, ServeInstruments
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -44,6 +44,7 @@ __all__ = [
     "span",
     "DEFAULT_BUCKETS",
     "KernelMetricsObserver",
+    "ServeInstruments",
     "render_prometheus",
     "parse_prometheus",
     "read_trace",

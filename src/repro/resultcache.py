@@ -8,6 +8,17 @@ north-star), repeated requests are the common case: a cache hit answers in
 ``O(1)`` without dispatching a worker, without touching the graph plane,
 and with bit-identical summary numbers.
 
+The key carries every field that shapes the answer *or its report*:
+``validate``/``certify`` because a certified result answers strictly more
+than an uncertified one, and the **resolved kernel backend** because the
+FLB backends, while bit-identical in their schedules, are reported to the
+caller (``BatchResult.kernel``, the ``repro-sched report`` backend mix) —
+serving an ``object``-computed entry to an ``array`` request would lie
+about which backend ran.  Keys must be built with the *resolved* kernel
+(:func:`repro.api.resolve_job_kernel`), never the raw request: ``auto``
+and ``array`` resolve to the same backend on a numba-less host and share
+entries, which is exactly right.
+
 :class:`ResultCache` is a bounded LRU with hit/miss/eviction counters.
 :func:`repro.batch.schedule_many` consults it before dispatch and inserts
 successful results after; failures are never cached (timeouts and worker
@@ -27,19 +38,40 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
-__all__ = ["ResultCache", "DEFAULT_CACHE_SIZE"]
+__all__ = ["ResultCache", "CacheKey", "make_key", "DEFAULT_CACHE_SIZE"]
 
 #: Default bound for :class:`ResultCache`; one entry is a few hundred bytes
 #: (a scalar ``BatchResult``), so the default costs well under a megabyte.
 DEFAULT_CACHE_SIZE = 1024
 
-#: Cache key: (graph fingerprint, procs, algo, validate, certify).
-CacheKey = Tuple[str, int, str, bool, bool]
+#: Cache key: (graph fingerprint, procs, algo, validate, certify, kernel).
+#: ``kernel`` is the *resolved* backend name (``object``/``array``/``numba``),
+#: never a raw request like ``auto``.
+CacheKey = Tuple[str, int, str, bool, bool, str]
+
+
+def make_key(
+    fingerprint: str,
+    procs: int,
+    algo: str,
+    validate: bool,
+    certify: bool,
+    kernel: str,
+) -> CacheKey:
+    """Build a :data:`CacheKey` (the one place its field order is spelled).
+
+    ``kernel`` must already be resolved via
+    :func:`repro.api.resolve_job_kernel`; passing ``auto`` here would split
+    the cache between spellings of the same backend.
+    """
+    if kernel == "auto":
+        raise ValueError("cache keys require a resolved kernel, not 'auto'")
+    return (fingerprint, procs, algo, validate, certify, kernel)
 
 
 class ResultCache:
-    """Bounded LRU mapping ``(fingerprint, procs, algo, validate, certify)``
-    to a successful :class:`~repro.batch.BatchResult`.
+    """Bounded LRU mapping ``(fingerprint, procs, algo, validate, certify,
+    kernel)`` to a successful :class:`~repro.batch.BatchResult`.
 
     ``capacity=0`` disables the cache (every lookup misses nothing — no
     counters move, nothing is stored), which keeps call sites free of

@@ -1,0 +1,719 @@
+"""The asyncio scheduling service: HTTP front-end over a BatchScheduler.
+
+Scheduling a graph is a few milliseconds of CPU; the expensive parts of a
+*serving* deployment are everything around that call — graph decode,
+shared-memory registration, cache lookups, fairness between tenants, and
+staying up under overload.  This module packages those concerns into one
+long-running process (stdlib only — ``asyncio`` + the library itself):
+
+* **one event loop** accepts HTTP/1.1 connections and parses requests
+  (:func:`_read_request` — no web framework);
+* **admission control** (:class:`repro.serve.admission.AdmissionController`)
+  bounds the backlog and sheds with ``429`` + ``Retry-After`` when full;
+* **weighted-fair queuing** (:class:`repro.serve.queues.WeightedFairQueue`)
+  orders admitted jobs so no tenant starves another;
+* **coalescing**: concurrent requests for the same
+  ``(fingerprint, procs, algo, validate, certify, kernel)`` share a single
+  computation — the same resolved-kernel key the result cache uses, so a
+  coalesced answer is exactly the answer a cache hit would give;
+* **dispatchers** pull from the fair queue and run
+  :meth:`repro.batch.BatchScheduler.run_one` via ``asyncio.to_thread`` —
+  the scheduler (and its metrics registry) is not thread-safe, so the
+  runner is serialised behind a lock; real parallelism lives in the
+  scheduler's worker pool, and ``dispatchers`` stays 1 unless a custom
+  thread-safe runner is injected;
+* **graceful drain**: SIGTERM/SIGINT stop accepting work (new schedules
+  shed with 429), complete every queued job, then exit.
+
+Entry points: :func:`serve` (blocking; ``repro-sched serve`` calls it) and
+:class:`BackgroundServer` (thread-hosted, for tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.api import SchedulingOptions, resolve_job_kernel
+from repro.batch import BatchJob, BatchResult, BatchScheduler
+from repro.graph.io import from_json
+from repro.obs import ServeInstruments, render_prometheus
+from repro.resultcache import CacheKey, make_key as make_cache_key
+from repro.serve.admission import AdmissionController, ShedError
+from repro.serve.handlers import (
+    BadRequestError,
+    Response,
+    UnknownGraphError,
+    endpoint_label,
+    route,
+)
+from repro.serve.queues import QueueFull, WeightedFairQueue
+
+__all__ = [
+    "ServeConfig",
+    "SchedulingService",
+    "BackgroundServer",
+    "serve",
+    "serve_async",
+]
+
+#: A runner takes one job + options and returns the result, synchronously.
+Runner = Callable[[BatchJob, SchedulingOptions], BatchResult]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Static configuration for one service instance.
+
+    ``max_backlog`` bounds queued + in-flight jobs (the admission limit);
+    ``tenant_weights`` sets fair-queue weights (unknown tenants get
+    ``default_weight``).  ``dispatchers`` > 1 only helps with a custom
+    thread-safe runner — the default runner serialises on a lock.
+    ``options`` seeds the wrapped scheduler's defaults (procs-independent
+    fields: validate/certify/kernel/timeout/retries); per-request fields
+    override it.  ``port`` 0 binds an ephemeral port (the chosen one is
+    printed as ``serving on host:port`` and exposed by
+    :attr:`BackgroundServer.port`).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8423
+    workers: Optional[int] = None
+    dispatchers: int = 1
+    max_backlog: int = 64
+    tenant_weights: Mapping[str, float] = field(default_factory=dict)
+    default_weight: float = 1.0
+    max_body_bytes: int = 32 * 1024 * 1024
+    drain_grace: float = 10.0
+    options: Optional[SchedulingOptions] = None
+
+    def __post_init__(self) -> None:
+        if self.dispatchers < 1:
+            raise ValueError(f"dispatchers must be >= 1, got {self.dispatchers}")
+        if self.max_backlog < 1:
+            raise ValueError(f"max_backlog must be >= 1, got {self.max_backlog}")
+        if self.max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+
+
+@dataclass
+class _Work:
+    """One admitted schedule request waiting in the fair queue."""
+
+    key: CacheKey
+    job: BatchJob
+    options: SchedulingOptions
+    future: "asyncio.Future[BatchResult]"
+    tenant: str
+    enqueued_at: float
+
+
+class SchedulingService:
+    """The service core: admission, fairness, coalescing, dispatch.
+
+    Wraps a :class:`~repro.batch.BatchScheduler` (created and owned when
+    not supplied) and shares its metrics registry, so one scrape exposes
+    ``serve_*`` and ``batch_*`` together.  ``runner`` injects the blocking
+    per-job computation (default: ``scheduler.run_one`` behind a lock) —
+    tests substitute a counting/delaying stub to pin down coalescing and
+    drain semantics deterministically.
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[BatchScheduler] = None,
+        config: Optional[ServeConfig] = None,
+        runner: Optional[Runner] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self._owns_scheduler = scheduler is None
+        if scheduler is None:
+            scheduler = BatchScheduler(
+                workers=self.config.workers,
+                options=self.config.options,
+            )
+        self.scheduler = scheduler
+        self.registry = scheduler.metrics()
+        self.instruments = ServeInstruments(self.registry)
+        self.admission = AdmissionController(
+            max_backlog=self.config.max_backlog,
+            dispatchers=self.config.dispatchers,
+        )
+        self.queue: WeightedFairQueue[_Work] = WeightedFairQueue(
+            maxsize=self.config.max_backlog,
+            weights=self.config.tenant_weights,
+            default_weight=self.config.default_weight,
+        )
+        self._runner: Runner = runner if runner is not None else self._run_locked
+        self._lock = threading.Lock()
+        self._inflight: Dict[CacheKey, "asyncio.Future[BatchResult]"] = {}
+        self._graphs: Dict[str, str] = {}  # fingerprint -> graph_key
+        self._active = 0
+        self._draining = False
+        self._started_at = time.monotonic()
+        self._dispatcher_tasks: List["asyncio.Task[None]"] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the dispatcher tasks (requires a running event loop)."""
+        if self._dispatcher_tasks:
+            return
+        for i in range(self.config.dispatchers):
+            task = asyncio.get_running_loop().create_task(
+                self._dispatch_loop(), name=f"repro-serve-dispatch-{i}"
+            )
+            self._dispatcher_tasks.append(task)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Stop admitting, finish every queued job, stop the dispatchers.
+
+        Idempotent; new ``/v1/schedule`` requests shed with 429 the moment
+        this is called, while queued and in-flight jobs run to completion.
+        """
+        self._draining = True
+        self.instruments.draining(True)
+        await self.queue.join()
+        for task in self._dispatcher_tasks:
+            task.cancel()
+        if self._dispatcher_tasks:
+            await asyncio.gather(*self._dispatcher_tasks, return_exceptions=True)
+        self._dispatcher_tasks.clear()
+
+    def close(self) -> None:
+        """Release the scheduler (and its shared-memory registry) if owned."""
+        if self._owns_scheduler and not self.scheduler.closed:
+            self.scheduler.close()
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "queued": self.queue.qsize(),
+            "inflight": self._active,
+            "tenants": self.queue.depths(),
+            "graphs": len(self._graphs),
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "service_estimate_seconds": round(
+                self.admission.service_estimate, 6
+            ),
+        }
+
+    def metrics_text(self) -> str:
+        return render_prometheus(self.registry)
+
+    def register_graph(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/graphs``: publish a graph, return its fingerprint.
+
+        Accepts either the ``repro-taskgraph`` document itself or
+        ``{"graph": <document>}``.  Idempotent per content fingerprint.
+        """
+        doc = payload.get("graph", payload)
+        if not isinstance(doc, dict):
+            raise BadRequestError("'graph' must be a JSON object")
+        try:
+            graph = from_json(json.dumps(doc))
+        except Exception as exc:
+            raise BadRequestError(f"invalid task graph: {exc}") from None
+        fingerprint = graph.fingerprint()
+        known = fingerprint in self._graphs
+        if not known:
+            key = self.scheduler.store.register(graph, fingerprint=fingerprint)
+            self._graphs[fingerprint] = key
+            self.instruments.graph_registered()
+        return {
+            "fingerprint": fingerprint,
+            "graph_key": self._graphs[fingerprint],
+            "tasks": graph.num_tasks,
+            "registered": not known,
+        }
+
+    async def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/schedule``: admit, enqueue (or coalesce), await.
+
+        Raises :class:`ShedError` when admission refuses,
+        :class:`UnknownGraphError` for an unregistered fingerprint, and
+        :class:`BadRequestError` for malformed fields.
+        """
+        work = self._prepare(payload)
+        tenant = work.tenant
+        self.instruments.tenant_request(tenant)
+        existing = self._inflight.get(work.key)
+        if existing is not None:
+            # Identical request already computing: share its outcome.  The
+            # shield keeps one waiter's cancellation (client disconnect)
+            # from killing the shared computation.
+            self.instruments.coalesced()
+            result = await asyncio.shield(existing)
+            return _result_payload(result, coalesced=True)
+        backlog = self.queue.qsize() + self._active
+        try:
+            self.admission.admit(backlog, draining=self._draining)
+            self.queue.put_nowait(tenant, work)
+        except (ShedError, QueueFull) as exc:
+            self.instruments.shed()
+            if isinstance(exc, ShedError):
+                raise
+            raise ShedError(
+                self.admission.retry_after(backlog), str(exc)
+            ) from None
+        self._inflight[work.key] = work.future
+        self.instruments.admitted(backlog)
+        self.instruments.queue_depth(self.queue.qsize())
+        result = await asyncio.shield(work.future)
+        return _result_payload(result, coalesced=False)
+
+    # -- internals -----------------------------------------------------------
+
+    def _prepare(self, payload: Dict[str, Any]) -> _Work:
+        """Validate a schedule payload into a queued work item."""
+        fingerprint = payload.get("fingerprint")
+        graph_doc = payload.get("graph")
+        if (fingerprint is None) == (graph_doc is None):
+            raise BadRequestError(
+                "provide exactly one of 'fingerprint' (a registered graph) "
+                "or 'graph' (an inline repro-taskgraph document)"
+            )
+        if graph_doc is not None:
+            registered = self.register_graph({"graph": graph_doc})
+            fingerprint = registered["fingerprint"]
+        if not isinstance(fingerprint, str):
+            raise BadRequestError("'fingerprint' must be a string")
+        graph_key = self._graphs.get(fingerprint)
+        if graph_key is None:
+            raise UnknownGraphError(
+                f"no graph registered with fingerprint {fingerprint!r}; "
+                f"POST it to /v1/graphs first"
+            )
+        procs = payload.get("procs")
+        if not isinstance(procs, int) or isinstance(procs, bool) or procs < 1:
+            raise BadRequestError("'procs' must be an integer >= 1")
+        base = self.scheduler.options
+        algo = payload.get("algo", base.algorithm)
+        if not isinstance(algo, str):
+            raise BadRequestError("'algo' must be a string")
+        overrides: Dict[str, Any] = {"algorithm": algo}
+        for key in ("validate", "certify"):
+            if key in payload:
+                if not isinstance(payload[key], bool):
+                    raise BadRequestError(f"'{key}' must be a boolean")
+                overrides[key] = payload[key]
+        if "kernel" in payload:
+            if not isinstance(payload["kernel"], str):
+                raise BadRequestError("'kernel' must be a string")
+            overrides["kernel"] = payload["kernel"]
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise BadRequestError("'tenant' must be a non-empty string")
+        tag = payload.get("tag", "")
+        if not isinstance(tag, str):
+            raise BadRequestError("'tag' must be a string")
+        try:
+            options = base.replace(**overrides)
+            resolved_kernel = resolve_job_kernel(algo, options.kernel)
+        except Exception as exc:
+            raise BadRequestError(str(exc)) from None
+        key = make_cache_key(
+            fingerprint,
+            procs,
+            algo,
+            options.validate,
+            options.certify,
+            resolved_kernel,
+        )
+        job = BatchJob(
+            graph=None, procs=procs, algo=algo, tag=tag, graph_key=graph_key
+        )
+        future: "asyncio.Future[BatchResult]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        # Retrieve late exceptions so an abandoned computation does not log
+        # an "exception was never retrieved" warning at GC time.
+        future.add_done_callback(_consume_exception)
+        return _Work(
+            key=key,
+            job=job,
+            options=options,
+            future=future,
+            tenant=tenant,
+            enqueued_at=time.monotonic(),
+        )
+
+    def _run_locked(self, job: BatchJob, options: SchedulingOptions) -> BatchResult:
+        # BatchScheduler (and MetricsRegistry) are not thread-safe; with
+        # dispatchers > 1, to_thread calls would otherwise interleave.
+        with self._lock:
+            return self.scheduler.run_one(job, options=options)
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            tenant, work = await self.queue.get()
+            del tenant  # fairness already applied by the queue order
+            self._active += 1
+            self.instruments.inflight(self._active)
+            self.instruments.queue_depth(self.queue.qsize())
+            self.instruments.observe_queue_wait(
+                time.monotonic() - work.enqueued_at
+            )
+            started = time.monotonic()
+            try:
+                result = await asyncio.to_thread(
+                    self._runner, work.job, work.options
+                )
+            except asyncio.CancelledError:
+                if not work.future.done():
+                    work.future.cancel()
+                raise
+            except Exception as exc:
+                if not work.future.done():
+                    work.future.set_exception(exc)
+            else:
+                if not work.future.done():
+                    work.future.set_result(result)
+            finally:
+                elapsed = time.monotonic() - started
+                self.admission.observe_service(elapsed)
+                self.instruments.observe_service(elapsed)
+                self._inflight.pop(work.key, None)
+                self._active -= 1
+                self.instruments.inflight(self._active)
+                self.queue.task_done()
+
+
+def _consume_exception(future: "asyncio.Future[BatchResult]") -> None:
+    if not future.cancelled():
+        future.exception()
+
+
+def _result_payload(result: BatchResult, coalesced: bool) -> Dict[str, Any]:
+    """The JSON summary for one completed schedule."""
+    payload: Dict[str, Any] = {
+        "ok": result.ok,
+        "tag": result.tag,
+        "algo": result.algo,
+        "procs": result.procs,
+        "num_tasks": result.num_tasks,
+        "makespan": result.makespan,
+        "speedup": result.speedup,
+        "procs_used": result.procs_used,
+        "seconds": result.seconds,
+        "kernel": result.kernel,
+        "cached": result.cached,
+        "coalesced": coalesced,
+        "attempts": result.attempts,
+        "certified": result.certified,
+    }
+    if result.phases is not None:
+        payload["phases"] = dict(result.phases)
+    if result.error is not None:
+        payload["error"] = result.error
+        payload["error_kind"] = result.error_kind
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# The HTTP layer: hand-rolled HTTP/1.1 over asyncio streams.
+# ---------------------------------------------------------------------------
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Optional[Tuple[str, str, Dict[str, str], bytes, bool]]:
+    """Parse one request; returns ``None`` on EOF before a request line.
+
+    Returns ``(method, path, headers, body, keep_alive)``.  Raises
+    :class:`BadRequestError` on malformed framing and :class:`ShedError`
+    never — overload is an application decision, not a parsing one.
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise BadRequestError("malformed request line") from None
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequestError(f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0") or "0"
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise BadRequestError(
+            f"bad Content-Length: {length_text!r}"
+        ) from None
+    if length < 0 or length > max_body:
+        raise _PayloadTooLarge(length)
+    body = await reader.readexactly(length) if length else b""
+    connection = headers.get("connection", "").lower()
+    keep_alive = version.upper() != "HTTP/1.0" and connection != "close"
+    return method.upper(), target, headers, body, keep_alive
+
+
+class _PayloadTooLarge(Exception):
+    def __init__(self, length: int) -> None:
+        super().__init__(f"request body of {length} bytes exceeds the limit")
+        self.length = length
+
+
+def _render_response(response: Response, keep_alive: bool) -> bytes:
+    head = [
+        f"HTTP/1.1 {response.status} {response.reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    head.extend(f"{name}: {value}" for name, value in response.headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + response.body
+
+
+class _HttpFrontend:
+    """Connection handling + per-request instrumentation for a service."""
+
+    def __init__(self, service: SchedulingService) -> None:
+        self.service = service
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                parsed = await _read_request(
+                    reader, self.service.config.max_body_bytes
+                )
+            except _PayloadTooLarge as exc:
+                writer.write(
+                    _render_response(
+                        _plain_error(413, str(exc)), keep_alive=False
+                    )
+                )
+                await writer.drain()
+                return
+            except BadRequestError as exc:
+                writer.write(
+                    _render_response(
+                        _plain_error(400, str(exc)), keep_alive=False
+                    )
+                )
+                await writer.drain()
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            if parsed is None:
+                return
+            method, path, _headers, body, keep_alive = parsed
+            started = time.monotonic()
+            response = await route(self.service, method, path, body)
+            self.service.instruments.request(
+                endpoint_label(path),
+                response.status,
+                time.monotonic() - started,
+            )
+            writer.write(_render_response(response, keep_alive))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return
+            if not keep_alive:
+                return
+
+    async def wait_idle(self, grace: float) -> None:
+        """Give open connections up to ``grace`` seconds to finish."""
+        pending = {t for t in self._conn_tasks if not t.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=grace)
+
+
+def _plain_error(status: int, message: str) -> Response:
+    body = (json.dumps({"error": message}) + "\n").encode("utf-8")
+    return Response(status=status, body=body)
+
+
+# ---------------------------------------------------------------------------
+# Entry points.
+# ---------------------------------------------------------------------------
+
+
+async def serve_async(
+    config: Optional[ServeConfig] = None,
+    scheduler: Optional[BatchScheduler] = None,
+    shutdown: Optional[asyncio.Event] = None,
+    ready: Optional[Callable[[SchedulingService, str, int], None]] = None,
+) -> None:
+    """Run the service until ``shutdown`` is set (or SIGTERM/SIGINT).
+
+    ``ready`` is called once with ``(service, host, port)`` after the
+    socket is bound — :class:`BackgroundServer` uses it to learn an
+    ephemeral port.
+    """
+    cfg = config or ServeConfig()
+    service = SchedulingService(scheduler=scheduler, config=cfg)
+    frontend = _HttpFrontend(service)
+    stop = shutdown if shutdown is not None else asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: List[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread or unsupported platform
+    server = await asyncio.start_server(frontend.handle, cfg.host, cfg.port)
+    try:
+        sockname = server.sockets[0].getsockname()
+        host, port = str(sockname[0]), int(sockname[1])
+        service.start()
+        print(f"serving on {host}:{port}", flush=True)
+        if ready is not None:
+            ready(service, host, port)
+        await stop.wait()
+        print("draining: completing in-flight jobs...", flush=True)
+        server.close()
+        await server.wait_closed()
+        await service.drain()
+        await frontend.wait_idle(cfg.drain_grace)
+        print("drained; bye", flush=True)
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        server.close()
+        service.close()
+
+
+def serve(
+    config: Optional[ServeConfig] = None,
+    scheduler: Optional[BatchScheduler] = None,
+) -> None:
+    """Blocking entry point: run until SIGTERM/SIGINT, then drain."""
+    asyncio.run(serve_async(config=config, scheduler=scheduler))
+
+
+class BackgroundServer:
+    """A service running on a dedicated thread — for tests and benchmarks.
+
+    ::
+
+        with BackgroundServer(ServeConfig(port=0)) as srv:
+            url = f"http://{srv.host}:{srv.port}"
+            ...                         # urllib / raw sockets against url
+        # __exit__ triggers the drain and joins the thread
+
+    The signal handlers are skipped automatically (not the main thread);
+    :meth:`stop` is the SIGTERM equivalent.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        scheduler: Optional[BatchScheduler] = None,
+    ) -> None:
+        self.config = config or ServeConfig(port=0)
+        self._scheduler = scheduler
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self.service: Optional[SchedulingService] = None
+        self.host: str = self.config.host
+        self.port: int = 0
+
+    def _on_ready(
+        self, service: SchedulingService, host: str, port: int
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._ready.set()
+
+    def _main(self) -> None:
+        async def body() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._shutdown = asyncio.Event()
+            await serve_async(
+                config=self.config,
+                scheduler=self._scheduler,
+                shutdown=self._shutdown,
+                ready=self._on_ready,
+            )
+
+        try:
+            asyncio.run(body())
+        except Exception as exc:  # pragma: no cover - surfaced in start()/stop()
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None:
+            raise RuntimeError("BackgroundServer already started")
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._error is not None:
+            raise RuntimeError("server failed to start") from self._error
+        if self.port == 0:
+            raise RuntimeError("server did not come up within 30s")
+        return self
+
+    def stop(self) -> None:
+        """Trigger the drain (SIGTERM equivalent) and join the thread."""
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None and loop.is_running():
+            loop.call_soon_threadsafe(shutdown.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60.0)
+        if self._error is not None:
+            raise RuntimeError("server crashed") from self._error
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

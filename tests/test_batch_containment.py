@@ -31,7 +31,7 @@ from repro.batch import (
 )
 from repro.schedulers import SCHEDULERS
 from repro.util.rng import make_rng
-from repro.workerpool import TaskOutcome, run_supervised
+from repro.workerpool import MAX_BACKOFF, TaskOutcome, _retry_delay, run_supervised
 from repro.workloads import lu
 
 _DIE_MARKER_ENV = "REPRO_TEST_DIE_MARKER"
@@ -271,6 +271,15 @@ def _raise_runner(x):
     raise ValueError(f"bad item {x}")
 
 
+def _die_once_runner(x):
+    marker = os.environ[_DIE_MARKER_ENV]
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("died")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
 class TestWorkerPool:
     def test_outcomes_in_order(self):
         outcomes = run_supervised([1, 2, 3, 4], _square, workers=2)
@@ -295,6 +304,47 @@ class TestWorkerPool:
 
     def test_empty_items(self):
         assert run_supervised([], _square, workers=4) == []
+
+
+class TestRetryBackoffClamp:
+    """Regression: the death-retry delay ``backoff * 2**(attempt-1)`` had
+    no ceiling — a generous ``retries`` budget scheduled retries minutes
+    (or, via float overflow, astronomically far) into the future."""
+
+    def test_retry_delay_doubles_then_clamps(self):
+        assert _retry_delay(0.1, 1, 30.0) == pytest.approx(0.1)
+        assert _retry_delay(0.1, 2, 30.0) == pytest.approx(0.2)
+        assert _retry_delay(0.1, 3, 30.0) == pytest.approx(0.4)
+        assert _retry_delay(0.1, 20, 30.0) == 30.0
+
+    def test_huge_attempt_counts_do_not_overflow(self):
+        # 2**(10**6) overflows float pow; the exponent clamp must keep the
+        # arithmetic finite and the result at the ceiling.
+        delay = _retry_delay(0.1, 10**6, MAX_BACKOFF)
+        assert delay == MAX_BACKOFF
+
+    def test_max_backoff_beats_a_large_base(self):
+        assert _retry_delay(10.0, 5, 0.5) == 0.5
+
+    def test_clamp_is_honored_end_to_end(self, tmp_path, monkeypatch):
+        """With a huge base backoff but a tight ``max_backoff``, a killed
+        worker's retry must run promptly — and the supervisor must wake for
+        the retry due-time instead of sleeping toward the kill deadline."""
+        monkeypatch.setenv(_DIE_MARKER_ENV, str(tmp_path / "died"))
+        t0 = time.perf_counter()
+        outcomes = run_supervised(
+            [3], _die_once_runner, workers=1, retries=2,
+            backoff=120.0, max_backoff=0.2, timeout=30.0, grace=1.0,
+        )
+        wall = time.perf_counter() - t0
+        assert outcomes[0].completed and outcomes[0].value == 9
+        assert outcomes[0].attempts == 2
+        # Far below both the uncapped backoff and the kill deadline.
+        assert wall < 10.0
+
+    def test_invalid_max_backoff_rejected(self):
+        with pytest.raises(ValueError):
+            run_supervised([1], _square, workers=1, max_backoff=0.0)
 
     def test_outcome_dataclass_defaults(self):
         o = TaskOutcome("completed", value=5)

@@ -128,6 +128,33 @@ class TestMissingNumba:
             assert resolve_kernel("auto") == "array"
         assert not caught
 
+    def test_reset_kernel_state_rearms_the_warning(self, monkeypatch):
+        """Regression: the warn-once latch was process-global with no reset
+        — after one fallback warning, every later embedder (or test) in the
+        same process silently got ``array`` with no hint why.  The public
+        ``reset_kernel_state`` restores the pristine state."""
+        _force_numba(monkeypatch, False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert resolve_kernel("numba") == "array"
+            assert resolve_kernel("numba") == "array"  # latched: silent
+            flb_array_mod.reset_kernel_state()
+            _force_numba(monkeypatch, False)  # reset also clears the probe
+            assert resolve_kernel("numba") == "array"  # re-armed: warns again
+        fallback = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(fallback) == 2
+
+    def test_reset_kernel_state_clears_the_probe_cache(self, monkeypatch):
+        _force_numba(monkeypatch, True)
+        assert resolve_kernel("auto") == "numba"
+        flb_array_mod.reset_kernel_state()
+        assert flb_array_mod._numba_probe is None
+
+    def test_reset_is_exported_and_aliased(self):
+        assert "reset_kernel_state" in flb_array_mod.__all__
+        # The pre-public spelling stays importable for existing callers.
+        assert flb_array_mod._reset_kernel_state is flb_array_mod.reset_kernel_state
+
     def test_fallback_schedule_is_still_bit_identical(self, monkeypatch):
         _force_numba(monkeypatch, False)
         graph = erdos_dag(35, 0.2, make_rng(9))

@@ -23,6 +23,8 @@ EXPECTED_ALL = sorted(
         "MetricsRegistry",
         "lint",
         "certify",
+        "ServeConfig",
+        "BackgroundServer",
     ]
 )
 
@@ -75,3 +77,9 @@ class TestLazyBindings:
         assert repro.MetricsRegistry is MetricsRegistry
         assert repro.lint is lint
         assert repro.certify is certify
+
+    def test_serve_names(self):
+        from repro.serve import BackgroundServer, ServeConfig
+
+        assert repro.ServeConfig is ServeConfig
+        assert repro.BackgroundServer is BackgroundServer

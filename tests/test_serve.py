@@ -1,0 +1,520 @@
+"""The scheduling service: fairness, admission, coalescing, drain, HTTP.
+
+Deterministic parts run against :class:`repro.serve.SchedulingService`
+with an injected runner (counting/gated stubs) driven inside
+``asyncio.run`` — no sockets, no timing races.  One end-to-end class runs
+the real thing over localhost via :class:`repro.serve.BackgroundServer`:
+register a graph, schedule by fingerprint, hit the cache, scrape
+``/metrics`` through :func:`repro.obs.parse_prometheus`, drain.
+"""
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.batch import BatchResult
+from repro.graph.io import to_json
+from repro.obs import parse_prometheus
+from repro.serve import (
+    AdmissionController,
+    BackgroundServer,
+    QueueFull,
+    SchedulingService,
+    ServeConfig,
+    ShedError,
+    WeightedFairQueue,
+    route,
+)
+from repro.util.rng import make_rng
+from repro.workloads import lu
+
+
+def _graph():
+    return lu(5, make_rng(0))
+
+
+def _graph_doc():
+    return json.loads(to_json(_graph()))
+
+
+def _stub_result(job, options):
+    """A canned BatchResult shaped like a successful inline run."""
+    return BatchResult(
+        tag=job.tag, algo=job.algo, procs=job.procs, num_tasks=15,
+        makespan=10.0, speedup=1.5, procs_used=job.procs, seconds=0.001,
+        kernel="array",
+    )
+
+
+# -- the weighted-fair queue -------------------------------------------------
+
+class TestWeightedFairQueue:
+    def _drain(self, q, n):
+        async def body():
+            out = []
+            for _ in range(n):
+                tenant, _item = await q.get()
+                q.task_done()
+                out.append(tenant)
+            return out
+        return asyncio.run(body())
+
+    def test_weighted_share_under_contention(self):
+        q = WeightedFairQueue(weights={"a": 3.0, "b": 1.0})
+        for i in range(8):
+            q.put_nowait("a", f"a{i}")
+            q.put_nowait("b", f"b{i}")
+        order = self._drain(q, 8)
+        # Over a backlogged window, tenant shares follow the 3:1 weights.
+        assert order.count("a") == 6 and order.count("b") == 2
+
+    def test_equal_weights_alternate(self):
+        q = WeightedFairQueue()
+        for i in range(4):
+            q.put_nowait("x", i)
+            q.put_nowait("y", i)
+        order = self._drain(q, 8)
+        assert order.count("x") == 4 and order.count("y") == 4
+
+    def test_fifo_within_tenant(self):
+        q = WeightedFairQueue()
+        for i in range(5):
+            q.put_nowait("t", i)
+
+        async def body():
+            items = []
+            for _ in range(5):
+                _tenant, item = await q.get()
+                q.task_done()
+                items.append(item)
+            return items
+
+        assert asyncio.run(body()) == [0, 1, 2, 3, 4]
+
+    def test_late_tenant_is_not_starved(self):
+        q = WeightedFairQueue()
+        for i in range(10):
+            q.put_nowait("busy", i)
+        self._drain(q, 5)
+        q.put_nowait("late", "first")
+        # The newcomer is stamped at the current virtual clock, not behind
+        # the incumbent's whole backlog.
+        order = self._drain(q, 3)
+        assert "late" in order
+
+    def test_bounded_and_raises_queue_full(self):
+        q = WeightedFairQueue(maxsize=2)
+        q.put_nowait("t", 1)
+        q.put_nowait("t", 2)
+        assert q.full()
+        with pytest.raises(QueueFull):
+            q.put_nowait("t", 3)
+
+    def test_join_waits_for_task_done(self):
+        q = WeightedFairQueue()
+        q.put_nowait("t", 1)
+
+        async def body():
+            joined = asyncio.ensure_future(q.join())
+            await asyncio.sleep(0)
+            assert not joined.done()
+            await q.get()
+            await asyncio.sleep(0)
+            assert not joined.done()  # gotten but not yet processed
+            q.task_done()
+            await asyncio.wait_for(joined, timeout=1.0)
+
+        asyncio.run(body())
+
+    def test_depths_and_weight_validation(self):
+        q = WeightedFairQueue(weights={"a": 2.0})
+        q.put_nowait("a", 1)
+        q.put_nowait("b", 2)
+        assert q.depths() == {"a": 1, "b": 1}
+        assert q.weight_of("a") == 2.0 and q.weight_of("b") == 1.0
+        with pytest.raises(ValueError):
+            WeightedFairQueue(weights={"bad": 0.0})
+        with pytest.raises(ValueError):
+            WeightedFairQueue(default_weight=-1.0)
+
+
+# -- admission control -------------------------------------------------------
+
+class TestAdmissionController:
+    def test_sheds_at_the_backlog_bound(self):
+        adm = AdmissionController(max_backlog=2)
+        adm.admit(0)
+        adm.admit(1)
+        with pytest.raises(ShedError) as exc:
+            adm.admit(2)
+        assert exc.value.retry_after >= 1
+        assert "backlog full" in exc.value.reason
+
+    def test_draining_sheds_unconditionally(self):
+        adm = AdmissionController(max_backlog=100)
+        with pytest.raises(ShedError) as exc:
+            adm.admit(0, draining=True)
+        assert "draining" in exc.value.reason
+
+    def test_retry_after_tracks_observed_service_time(self):
+        adm = AdmissionController(max_backlog=10)
+        adm.observe_service(2.0)  # first sample replaces the prior
+        assert adm.service_estimate == 2.0
+        # 5 queued jobs at ~2s each through one dispatcher: ~12s hint.
+        assert adm.retry_after(5) == 12
+        fast = AdmissionController(max_backlog=10, dispatchers=4)
+        fast.observe_service(2.0)
+        assert fast.retry_after(5) == 3
+
+    def test_retry_after_is_clamped_and_integral(self):
+        adm = AdmissionController(max_backlog=10)
+        adm.observe_service(1e-6)
+        assert adm.retry_after(0) == 1  # never 0: the header must back off
+        adm.observe_service(1e9)
+        assert adm.retry_after(1000) == 120
+
+    def test_ewma_converges(self):
+        adm = AdmissionController(max_backlog=10, alpha=0.5)
+        adm.observe_service(1.0)
+        adm.observe_service(3.0)
+        assert adm.service_estimate == 2.0
+        assert adm.observations == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_backlog=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_backlog=1, dispatchers=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_backlog=1, alpha=0.0)
+
+
+# -- the service core (injected runner, no sockets) --------------------------
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_compute_once(self):
+        calls = []
+
+        def runner(job, options):
+            calls.append(job)
+            time.sleep(0.05)  # hold the computation open across submits
+            return _stub_result(job, options)
+
+        service = SchedulingService(
+            config=ServeConfig(max_backlog=16), runner=runner
+        )
+        try:
+            reg = service.register_graph({"graph": _graph_doc()})
+            payload = {"fingerprint": reg["fingerprint"], "procs": 4}
+
+            async def body():
+                service.start()
+                results = await asyncio.gather(
+                    *(service.submit(dict(payload)) for _ in range(5))
+                )
+                await service.drain()
+                return results
+
+            results = asyncio.run(body())
+            assert len(calls) == 1  # one dispatch served all five requests
+            assert sum(r["coalesced"] for r in results) == 4
+            assert all(r["ok"] and r["makespan"] == 10.0 for r in results)
+            assert service.registry.total("serve_coalesced_total") == 4.0
+        finally:
+            service.close()
+
+    def test_different_options_do_not_coalesce(self):
+        calls = []
+
+        def runner(job, options):
+            calls.append((job.procs, options.certify))
+            time.sleep(0.02)
+            return _stub_result(job, options)
+
+        service = SchedulingService(
+            config=ServeConfig(max_backlog=16), runner=runner
+        )
+        try:
+            reg = service.register_graph({"graph": _graph_doc()})
+            fp = reg["fingerprint"]
+
+            async def body():
+                service.start()
+                results = await asyncio.gather(
+                    service.submit({"fingerprint": fp, "procs": 2}),
+                    service.submit({"fingerprint": fp, "procs": 3}),
+                    service.submit({"fingerprint": fp, "procs": 2,
+                                    "certify": True}),
+                )
+                await service.drain()
+                return results
+
+            results = asyncio.run(body())
+            assert len(calls) == 3
+            assert not any(r["coalesced"] for r in results)
+        finally:
+            service.close()
+
+
+class TestSheddingAndDrain:
+    def test_backlog_bound_sheds_with_retry_after(self):
+        gate = threading.Event()
+
+        def runner(job, options):
+            gate.wait(timeout=10.0)
+            return _stub_result(job, options)
+
+        service = SchedulingService(
+            config=ServeConfig(max_backlog=1), runner=runner
+        )
+        try:
+            reg = service.register_graph({"graph": _graph_doc()})
+            fp = reg["fingerprint"]
+
+            async def body():
+                service.start()
+                first = asyncio.ensure_future(
+                    service.submit({"fingerprint": fp, "procs": 2})
+                )
+                await asyncio.sleep(0.05)  # let it occupy the one slot
+                with pytest.raises(ShedError) as exc:
+                    await service.submit({"fingerprint": fp, "procs": 3})
+                assert exc.value.retry_after >= 1
+                gate.set()
+                result = await first
+                await service.drain()
+                return result
+
+            result = asyncio.run(body())
+            assert result["ok"] and not result["coalesced"]
+            assert service.registry.total("serve_shed_total") == 1.0
+        finally:
+            service.close()
+
+    def test_drain_completes_inflight_and_sheds_new_work(self):
+        gate = threading.Event()
+        done = []
+
+        def runner(job, options):
+            gate.wait(timeout=10.0)
+            done.append(job.procs)
+            return _stub_result(job, options)
+
+        service = SchedulingService(
+            config=ServeConfig(max_backlog=8), runner=runner
+        )
+        try:
+            reg = service.register_graph({"graph": _graph_doc()})
+            fp = reg["fingerprint"]
+
+            async def body():
+                service.start()
+                jobs = [
+                    asyncio.ensure_future(
+                        service.submit({"fingerprint": fp, "procs": p})
+                    )
+                    for p in (2, 3, 4)
+                ]
+                await asyncio.sleep(0.05)
+                drainer = asyncio.ensure_future(service.drain())
+                await asyncio.sleep(0.05)
+                assert service.draining
+                # New work is refused the moment draining begins...
+                with pytest.raises(ShedError) as exc:
+                    await service.submit({"fingerprint": fp, "procs": 5})
+                assert "draining" in exc.value.reason
+                # ...but everything already admitted runs to completion.
+                gate.set()
+                results = await asyncio.gather(*jobs)
+                await asyncio.wait_for(drainer, timeout=10.0)
+                return results
+
+            results = asyncio.run(body())
+            assert sorted(done) == [2, 3, 4]
+            assert all(r["ok"] for r in results)
+            assert service.registry.value("serve_draining") == 1.0
+        finally:
+            service.close()
+
+
+class TestRouteLayer:
+    """The HTTP surface without sockets: route() against a stub service."""
+
+    def _service(self):
+        return SchedulingService(
+            config=ServeConfig(max_backlog=8), runner=_stub_result
+        )
+
+    def _route(self, service, method, path, payload=None):
+        body = b"" if payload is None else json.dumps(payload).encode()
+        return asyncio.run(route(service, method, path, body))
+
+    def test_schedule_roundtrip_and_error_codes(self):
+        service = self._service()
+        try:
+            doc = _graph_doc()
+            resp = self._route(service, "POST", "/v1/graphs", {"graph": doc})
+            assert resp.status == 200
+            fp = json.loads(resp.body)["fingerprint"]
+
+            async def body():
+                service.start()
+                ok = await route(
+                    service, "POST", "/v1/schedule",
+                    json.dumps({"fingerprint": fp, "procs": 4}).encode(),
+                )
+                await service.drain()
+                return ok
+
+            ok = asyncio.run(body())
+            assert ok.status == 200
+            assert json.loads(ok.body)["kernel"] == "array"
+        finally:
+            service.close()
+
+    def test_shed_response_carries_retry_after_header(self):
+        service = self._service()
+        try:
+            doc = _graph_doc()
+            self._route(service, "POST", "/v1/graphs", {"graph": doc})
+            fp = json.loads(
+                self._route(
+                    service, "POST", "/v1/graphs", {"graph": doc}
+                ).body
+            )["fingerprint"]
+
+            async def body():
+                await service.drain()  # no dispatchers started: immediate
+                return await route(
+                    service, "POST", "/v1/schedule",
+                    json.dumps({"fingerprint": fp, "procs": 4}).encode(),
+                )
+
+            resp = asyncio.run(body())
+            assert resp.status == 429
+            headers = dict(resp.headers)
+            assert int(headers["Retry-After"]) >= 1
+            assert json.loads(resp.body)["retry_after"] >= 1
+        finally:
+            service.close()
+
+    def test_unknown_fingerprint_404_bad_json_400_wrong_method_405(self):
+        service = self._service()
+        try:
+            resp = asyncio.run(route(
+                service, "POST", "/v1/schedule",
+                json.dumps({"fingerprint": "nope", "procs": 2}).encode(),
+            ))
+            assert resp.status == 404
+            assert self._route(service, "POST", "/v1/schedule").status == 400
+            assert self._route(service, "GET", "/v1/schedule").status == 405
+            assert self._route(service, "GET", "/no/such").status == 404
+            bad = asyncio.run(route(service, "POST", "/v1/graphs", b"{oops"))
+            assert bad.status == 400
+        finally:
+            service.close()
+
+    def test_field_validation(self):
+        service = self._service()
+        try:
+            fp = json.loads(self._route(
+                service, "POST", "/v1/graphs", {"graph": _graph_doc()}
+            ).body)["fingerprint"]
+            for payload in (
+                {"fingerprint": fp},                       # no procs
+                {"fingerprint": fp, "procs": 0},
+                {"fingerprint": fp, "procs": True},
+                {"fingerprint": fp, "procs": 2, "tenant": ""},
+                {"fingerprint": fp, "procs": 2, "kernel": "warp-drive"},
+                {"fingerprint": fp, "graph": _graph_doc(), "procs": 2},
+            ):
+                resp = self._route(service, "POST", "/v1/schedule", payload)
+                assert resp.status == 400, payload
+        finally:
+            service.close()
+
+    def test_metrics_parse_roundtrip(self):
+        service = self._service()
+        try:
+            self._route(service, "POST", "/v1/graphs", {"graph": _graph_doc()})
+            resp = self._route(service, "GET", "/metrics")
+            assert resp.status == 200
+            assert resp.content_type.startswith("text/plain")
+            families = parse_prometheus(resp.body.decode())
+            assert any(name.startswith("repro_serve") for name in families)
+        finally:
+            service.close()
+
+    def test_healthz_reports_drain_state(self):
+        service = self._service()
+        try:
+            resp = self._route(service, "GET", "/healthz")
+            assert json.loads(resp.body)["status"] == "ok"
+            asyncio.run(service.drain())
+            resp = self._route(service, "GET", "/healthz")
+            assert json.loads(resp.body)["status"] == "draining"
+        finally:
+            service.close()
+
+
+# -- end to end over localhost -----------------------------------------------
+
+class TestHttpEndToEnd:
+    def _post(self, base, path, payload):
+        req = urllib.request.Request(
+            base + path, data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def test_register_schedule_cache_metrics_drain(self):
+        doc = _graph_doc()
+        with BackgroundServer(ServeConfig(port=0)) as srv:
+            base = f"http://{srv.host}:{srv.port}"
+            status, reg = self._post(base, "/v1/graphs", {"graph": doc})
+            assert status == 200 and reg["registered"]
+            status, again = self._post(base, "/v1/graphs", {"graph": doc})
+            assert status == 200 and not again["registered"]  # idempotent
+
+            status, res = self._post(
+                base, "/v1/schedule",
+                {"fingerprint": reg["fingerprint"], "procs": 3},
+            )
+            assert status == 200 and res["ok"] and not res["cached"]
+            assert res["makespan"] > 0 and res["kernel"] in (
+                "object", "array", "numba",
+            )
+            status, hit = self._post(
+                base, "/v1/schedule",
+                {"fingerprint": reg["fingerprint"], "procs": 3},
+            )
+            assert status == 200 and hit["cached"]
+            assert hit["makespan"] == res["makespan"]
+            assert hit["kernel"] == res["kernel"]  # the cache cannot lie
+
+            with urllib.request.urlopen(base + "/healthz", timeout=30) as r:
+                health = json.loads(r.read())
+            assert health["status"] == "ok" and health["graphs"] == 1
+
+            with urllib.request.urlopen(base + "/metrics", timeout=30) as r:
+                text = r.read().decode()
+            families = parse_prometheus(text)
+            assert any(n.startswith("repro_serve_requests") for n in families)
+        # context exit == drain: reaching here means shutdown completed
+
+    def test_unknown_fingerprint_over_http_is_404(self):
+        with BackgroundServer(ServeConfig(port=0)) as srv:
+            base = f"http://{srv.host}:{srv.port}"
+            status, body = self._post(
+                base, "/v1/schedule", {"fingerprint": "feedface", "procs": 2}
+            )
+            assert status == 404 and "feedface" in body["error"]

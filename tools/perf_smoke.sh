@@ -58,4 +58,8 @@ print(f"observability smoke OK: {len(samples)} samples, {len(jobs)} job events")
 EOF
 python -m repro.cli report results/trace.jsonl > /dev/null
 
+# Serving front-end over real sockets: register/schedule by fingerprint,
+# coalescing, 429 shedding, metrics scrape, SIGTERM drain.
+tools/serve_smoke.sh
+
 echo "perf smoke OK"
