@@ -38,6 +38,12 @@ Fields (see each entry point for which ones it consumes):
   ``"object"`` (the reference heap scheduler).  The ``REPRO_KERNEL``
   environment variable overrides this field; non-FLB algorithms ignore
   it.  See :mod:`repro.core.flb_array`.
+* ``warm_start`` — reuse the clean prefix of a previously computed base
+  schedule and replay FLB only over the dirty suffix
+  (:mod:`repro.incremental`).  Bit-identical to a cold run, with a silent
+  cold fallback (counted under ``incr_fallback_total``) whenever no
+  usable base exists.  FLB array/numba kernels only; other requests
+  ignore the flag.
 """
 
 from __future__ import annotations
@@ -98,6 +104,7 @@ class SchedulingOptions:
     retries: int = 2
     metrics: Optional[MetricsRegistry] = None
     kernel: str = "auto"
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if self.procs is not None and self.procs < 1:
@@ -209,6 +216,7 @@ def schedule_graph(
     *,
     options: Optional[SchedulingOptions] = None,
     machine: Optional["MachineModel"] = None,
+    base: Optional["Schedule"] = None,
     **kwargs: Any,
 ) -> "Schedule":
     """Schedule ``graph`` in-process with the configured algorithm.
@@ -232,6 +240,14 @@ def schedule_graph(
     The legacy form ``schedule_graph(graph, num_procs, algorithm="flb")``
     keeps working, emits one :class:`DeprecationWarning`, and returns a
     bit-identical schedule.
+
+    ``base`` passes an explicit warm-start base schedule;
+    ``options.warm_start`` alone consults the process-global
+    :func:`repro.incremental.base_cache` instead and stores this run's
+    result there for future deltas.  Either way the FLB array/numba path
+    replays the base's clean prefix when it can and silently runs cold
+    when it cannot (see :mod:`repro.incremental`); the object path ignores
+    warm-start entirely.
     """
     from repro.schedulers import get_scheduler
 
@@ -261,15 +277,27 @@ def schedule_graph(
     if kernel != "object":
         from repro.core.flb_array import flb_array
 
+        warm_base = base
+        if warm_base is None and opts.warm_start:
+            from repro.incremental import base_cache
+
+            warm_base = base_cache().get(graph.fingerprint())
+
         def _run() -> "Schedule":
-            return flb_array(
+            result = flb_array(
                 graph,
                 opts.procs,
                 machine=machine,
                 backend=kernel,
                 metrics=metrics,
+                base=warm_base,
                 **kwargs,
             )
+            if opts.warm_start:
+                from repro.incremental import base_cache
+
+                base_cache().put(graph.fingerprint(), result)
+            return result
 
     else:
         scheduler = get_scheduler(opts.algorithm)

@@ -109,6 +109,15 @@ class BatchJob:
     (the dispatcher decides whether to share it) or ``graph=None`` plus a
     ``graph_key`` for a pre-registered graph; workers resolve keys through
     their per-process decoded-graph LRU.
+
+    ``base_fingerprint`` names the preferred warm-start base for a delta
+    request: when the batch runs with warm-start enabled
+    (``SchedulingOptions.warm_start``), the FLB array path looks this
+    fingerprint up in the process-global
+    :func:`repro.incremental.base_cache` and replays only the dirty
+    suffix of the graph against that base's schedule.  ``None`` falls
+    back to the most recently stored base; a miss or an unusable base
+    runs cold — the answer is bit-identical either way.
     """
 
     graph: Optional[TaskGraph]
@@ -117,6 +126,7 @@ class BatchJob:
     tag: str = ""
     machine: Optional[MachineModel] = None
     graph_key: Optional[str] = None
+    base_fingerprint: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -140,7 +150,12 @@ class BatchResult:
     dispatch/reply residual (``other``) supervisor-side (see
     docs/observability.md).  ``kernel`` names the FLB backend that served
     the job (``object`` / ``array`` / ``numba``; always ``object`` for
-    non-FLB algorithms and for failed or cached results).
+    non-FLB algorithms and for failed or cached results).  ``warm`` is
+    the warm-start outcome when the batch ran with warm-start enabled and
+    a base schedule was available: either the replay accounting
+    (``reused`` / ``replayed`` / ``total`` / ``dirty`` / ``fraction``) or
+    ``{"fallback": reason}`` when the base could not be reused; ``None``
+    when warm-start was off or no base existed yet.
     """
 
     tag: str
@@ -159,6 +174,7 @@ class BatchResult:
     certified: bool = False
     phases: Optional[Dict[str, float]] = None
     kernel: str = "object"
+    warm: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -197,6 +213,7 @@ def _run_job(
     certify: bool = False,
     measure: bool = False,
     kernel: str = "auto",
+    warm_start: bool = False,
 ) -> BatchResult:
     """Worker body: schedule one job, mapping any failure to ``error``.
 
@@ -207,6 +224,13 @@ def _run_job(
     ``invalid-schedule``.  With ``measure`` (metrics enabled), per-phase
     durations are captured into :attr:`BatchResult.phases` — two extra
     clock reads per phase, nothing more.
+
+    With ``warm_start``, FLB array/numba jobs consult the process-global
+    :func:`repro.incremental.base_cache` (preferring
+    ``job.base_fingerprint``) for a base schedule to replay, and publish
+    their own result there afterwards.  On the pool path each worker
+    process keeps its own base cache, warming up as it serves; the inline
+    path (single jobs, the serving front-end) shares the supervisor's.
     """
     from repro.metrics.metrics import speedup as speedup_of
     from repro.schedulers import get_scheduler
@@ -229,12 +253,29 @@ def _run_job(
                 resolved = resolve_kernel(kernel)
         procs = job.procs if job.machine is None else None
         t_sched = time.perf_counter()
+        warm: Optional[Dict[str, Any]] = None
         if resolved != "object":
             from repro.core.flb_array import flb_array
 
+            base = None
+            if warm_start:
+                from repro.incremental import base_cache
+
+                base = base_cache().get(job.base_fingerprint)
+                warm = {}
             schedule = flb_array(
-                job.graph, procs, machine=job.machine, backend=resolved
+                job.graph, procs, machine=job.machine, backend=resolved,
+                base=base, warm_stats=warm,
             )
+            if warm_start:
+                from repro.incremental import base_cache
+
+                base_cache().put(job.graph.fingerprint(), schedule)
+            if warm and "fallback" not in warm:
+                # The reused prefix is replayed and the dirty suffix runs
+                # the interpreted array driver — report the backend that
+                # actually served the job.
+                resolved = "array"
         else:
             scheduler = get_scheduler(job.algo)
             schedule = scheduler(job.graph, procs, machine=job.machine)
@@ -284,6 +325,7 @@ def _run_job(
             certified=certified,
             phases=phases,
             kernel=resolved,
+            warm=warm or None,
         )
     except Exception:
         return _failed_result(
@@ -294,8 +336,8 @@ def _run_job(
 
 def _run_packed(packed) -> BatchResult:
     """Module-level runner for the worker pool (must be picklable)."""
-    job, validate, certify, measure, kernel = packed
-    return _run_job(job, validate, certify, measure, kernel)
+    job, validate, certify, measure, kernel, warm_start = packed
+    return _run_job(job, validate, certify, measure, kernel, warm_start)
 
 
 def _cache_key(
@@ -368,7 +410,11 @@ def schedule_many(
     options:
         A :class:`repro.api.SchedulingOptions` carrying the scheduling
         semantics (``validate`` / ``certify`` / ``timeout`` / ``retries`` /
-        ``metrics``) — the canonical spelling.  The individual ``timeout``
+        ``metrics`` / ``kernel`` / ``warm_start``) — the canonical
+        spelling.  With ``warm_start``, FLB array jobs replay the clean
+        prefix of a previously stored base schedule
+        (:mod:`repro.incremental`) and report the outcome in
+        :attr:`BatchResult.warm`.  The individual ``timeout``
         / ``validate`` / ``certify`` / ``retries`` keywords below keep
         working but are deprecated (one :class:`DeprecationWarning` per
         call) and cannot be mixed with ``options``.
@@ -455,6 +501,7 @@ def schedule_many(
     )
     reg = opts.metrics
     kernel = opts.kernel
+    warm_start = opts.warm_start
     measure = reg is not None
     t_run0 = time.perf_counter()
 
@@ -496,9 +543,11 @@ def schedule_many(
         if use_cache:
             hit = cache.get(keys[i])
             if hit is not None:
+                # warm=None: the replica did not replay anything itself,
+                # so it must not re-count the original's warm accounting.
                 results[i] = replace(
                     hit, tag=job.tag, seconds=0.0, queue_seconds=0.0,
-                    attempts=1, cached=True,
+                    attempts=1, cached=True, warm=None,
                 )
                 continue
             if keys[i] is not None:
@@ -523,7 +572,9 @@ def schedule_many(
 
     if dispatch and (workers <= 1 or len(dispatch) <= 1):
         for i in dispatch:
-            results[i] = _run_job(jobs[i], validate, certify, measure, kernel)
+            results[i] = _run_job(
+                jobs[i], validate, certify, measure, kernel, warm_start,
+            )
         stats["inline_graph_jobs"] = len(dispatch)
     elif dispatch:
         outcomes = _dispatch_pool(
@@ -531,7 +582,7 @@ def schedule_many(
             grace=grace, retries=retries, backoff=backoff,
             share_graphs=share_graphs, store=store,
             fingerprints=fingerprints, stats=stats, metrics=reg,
-            kernel=kernel,
+            kernel=kernel, warm_start=warm_start,
         )
         for i, res in zip(dispatch, outcomes):
             results[i] = res
@@ -545,7 +596,7 @@ def schedule_many(
             if canonical.ok:
                 results[i] = replace(
                     canonical, tag=jobs[i].tag, seconds=0.0,
-                    queue_seconds=0.0, attempts=1, cached=True,
+                    queue_seconds=0.0, attempts=1, cached=True, warm=None,
                 )
             else:
                 results[i] = replace(canonical, tag=jobs[i].tag)
@@ -607,20 +658,46 @@ def _record_batch_metrics(
         phases["other"] = max(0.0, res.seconds - sum(worker_phases.values()))
         for phase, secs in phases.items():
             reg.histogram("batch_phase_seconds", phase=phase).observe(secs)
+        if res.warm:
+            # Warm-start accounting is recorded supervisor-side from the
+            # result (workers carry no registry): one counter per outcome
+            # plus the task-level reuse totals for the replayed path.
+            reg.counter("incr_attempts_total").inc()
+            fallback = res.warm.get("fallback")
+            if fallback is not None:
+                reg.counter(
+                    "incr_fallback_total", reason=str(fallback)
+                ).inc()
+            else:
+                reg.counter("incr_warm_total").inc()
+                reg.counter("incr_reused_tasks_total").inc(
+                    int(res.warm.get("reused", 0))
+                )
+                reg.counter("incr_replayed_tasks_total").inc(
+                    int(res.warm.get("replayed", 0))
+                )
+                reg.counter("incr_dirty_tasks_total").inc(
+                    int(res.warm.get("dirty", 0))
+                )
+                reg.gauge("incr_reuse_fraction").set(
+                    float(res.warm.get("fraction", 0.0))
+                )
         wall = res.queue_seconds + res.seconds
         reg.event(
             "batch.job", wall,
             tag=res.tag, algo=res.algo, procs=res.procs, ok=res.ok,
             error_kind=res.error_kind, cached=res.cached,
             attempts=res.attempts, wall=wall, phases=phases,
-            kernel=res.kernel,
+            kernel=res.kernel, warm=res.warm,
         )
+    cache_stats = cache.stats() if cache is not None else {}
     reg.event(
         "batch.run", wall_seconds,
         jobs=stats.get("jobs", len(results)),
         dispatched=stats.get("dispatched", 0),
         cache_hits=stats.get("cache_hits", 0),
         coalesced=stats.get("coalesced", 0),
+        cache=cache_stats or None,
     )
     if cache is not None:
         for key, value in cache.stats().items():
@@ -650,6 +727,7 @@ def _dispatch_pool(
     stats: Dict[str, int],
     metrics: Optional[MetricsRegistry] = None,
     kernel: str = "auto",
+    warm_start: bool = False,
 ) -> List[BatchResult]:
     """Fan ``jobs`` across the supervised pool, sharing graphs through the
     graph plane where the policy says so.  Owns (and always unlinks) the
@@ -694,7 +772,8 @@ def _dispatch_pool(
 
         measure = metrics is not None
         outcomes = workerpool.run_supervised(
-            [(job, validate, certify, measure, kernel) for job in wire],
+            [(job, validate, certify, measure, kernel, warm_start)
+             for job in wire],
             _run_packed,
             workers=min(workers, len(wire)),
             timeout=timeout,
@@ -951,8 +1030,11 @@ class BatchScheduler:
     def stats(self) -> Dict[str, int]:
         """Cumulative serving counters: dispatch accounting (``jobs``,
         ``cache_hits``, ``dispatched``, ``keyed_jobs``, ...), registry size
-        (``store_graphs``, ``store_bytes``) and result-cache counters
-        (``cache_hit``/``cache_miss``/``cache_evictions``/...)."""
+        (``store_graphs``, ``store_bytes``), result-cache counters
+        (``cache_hit``/``cache_miss``/``cache_evictions``/...) and — when
+        this scheduler runs with ``options.warm_start`` — the warm-start
+        base-cache counters (``warm_size``/``warm_hits``/``warm_misses``/
+        ``warm_evictions``/...)."""
         stats = dict(self._dispatch_totals)
         stats.setdefault("jobs", 0)
         stats["results"] = self._results_seen
@@ -961,6 +1043,11 @@ class BatchScheduler:
             stats[f"store_{key}"] = value
         for key, value in self.cache.stats().items():
             stats[f"cache_{key}"] = value
+        if self.options.warm_start:
+            from repro.incremental import base_cache
+
+            for key, value in base_cache().stats().items():
+                stats[f"warm_{key}"] = value
         return stats
 
     def close(self) -> None:

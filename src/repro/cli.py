@@ -307,6 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="result-cache capacity: repeated (graph, P, "
                          "algo) jobs are answered in O(1) without "
                          "dispatching a worker (0 disables; default: 1024)")
+    p_batch.add_argument("--warm-start", action="store_true",
+                         help="warm-start FLB array jobs from previously "
+                         "computed schedules: diff the DAG, reuse the clean "
+                         "schedule prefix and replay only the dirty suffix "
+                         "(bit-identical; silent cold fallback)")
     p_batch.add_argument("--stats", action="store_true",
                          help="print graph-plane and result-cache counters "
                          "after the batch")
@@ -337,6 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-check every schedule from first principles")
     p_serve.add_argument("--certify", action="store_true",
                          help="run the independent checker on every schedule")
+    p_serve.add_argument("--warm-start", action="store_true",
+                         help="enable warm-start rescheduling for every "
+                         "request (delta requests with base_fingerprint "
+                         "enable it per-request regardless)")
     _add_kernel_arg(p_serve)
 
     p_report = sub.add_parser(
@@ -631,6 +640,7 @@ def _cmd_batch(args) -> int:
     options = SchedulingOptions(
         timeout=args.timeout, validate=args.validate, certify=args.certify,
         retries=args.retries, metrics=reg, kernel=args.kernel,
+        warm_start=args.warm_start,
     )
     with BatchScheduler(
         workers=args.workers, options=options,
@@ -723,6 +733,7 @@ def _cmd_serve(args) -> int:
     options = SchedulingOptions(
         timeout=args.timeout, validate=args.validate,
         certify=args.certify, kernel=args.kernel,
+        warm_start=args.warm_start,
     )
     try:
         config = ServeConfig(

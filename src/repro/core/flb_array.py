@@ -48,15 +48,15 @@ from __future__ import annotations
 
 import os
 import warnings
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from importlib import util as _importlib_util
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core._flb_kernel import KERNEL_OK, flb_kernel, get_compiled_kernel
 from repro.exceptions import SchedulerError
-from repro.graph.properties import bottom_levels_array
+from repro.graph.properties import _concat_slices, bottom_levels_array
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.model import MachineModel
 from repro.obs.metrics import MetricsRegistry
@@ -186,6 +186,8 @@ def flb_array(
     prefer_non_ep_on_tie: bool = True,
     backend: str = "auto",
     metrics: Optional[MetricsRegistry] = None,
+    base: Optional[Schedule] = None,
+    warm_stats: Optional[Dict[str, object]] = None,
 ) -> Schedule:
     """Schedule ``graph`` with the array-native FLB kernel.
 
@@ -197,6 +199,17 @@ def flb_array(
     (``flb_kernel_backend_total{backend}``) are recorded — the same names
     :class:`repro.obs.KernelMetricsObserver` emits for the observed path,
     so ``repro-sched report`` aggregates both.
+
+    ``base`` requests a warm start: the clean prefix of the base schedule
+    (same machine, same tie rule, complete) is replayed verbatim and the
+    kernel runs only over the dirty suffix — bit-identical to a cold run
+    by construction (see :mod:`repro.incremental`), with a silent cold
+    fallback otherwise.  A warm run executes the interpreted array driver
+    regardless of ``backend`` (the suffix is too small to amortize a
+    compiled launch), and is reported as ``backend="array"``.  When
+    ``warm_stats`` is given it is filled with the reuse numbers (``reused``
+    / ``replayed`` / ``total`` / ``dirty`` / ``fraction``) or the
+    ``fallback`` reason; ``metrics`` gets the same under ``incr_*``.
     """
     graph.freeze()
     if machine is None:
@@ -227,10 +240,45 @@ def flb_array(
                             reason="numba-missing").inc()
         backend = "array"
 
-    if backend == "numba":
-        schedule, counters = _flb_numba(graph, machine, prefer_non_ep_on_tie)
-    else:
-        schedule, counters = _flb_array_impl(graph, machine, prefer_non_ep_on_tie)
+    schedule: Optional[Schedule] = None
+    counters: Tuple[int, int, int, int] = (0, 0, 0, 0)
+    if base is not None:
+        if metrics is not None:
+            metrics.counter("incr_attempts_total").inc()
+        attempt = _try_warm_start(graph, machine, prefer_non_ep_on_tie, base)
+        if isinstance(attempt, str):
+            if metrics is not None:
+                metrics.counter("incr_fallback_total", reason=attempt).inc()
+            if warm_stats is not None:
+                warm_stats["fallback"] = attempt
+        else:
+            schedule, counters, info = attempt
+            backend = "array"  # the warm suffix ran the interpreted driver
+            if warm_stats is not None:
+                warm_stats.update(info)
+            if metrics is not None:
+                metrics.counter("incr_warm_total").inc()
+                metrics.counter("incr_reused_tasks_total").inc(
+                    float(info["reused"])  # type: ignore[arg-type]
+                )
+                metrics.counter("incr_replayed_tasks_total").inc(
+                    float(info["replayed"])  # type: ignore[arg-type]
+                )
+                metrics.counter("incr_dirty_tasks_total").inc(
+                    float(info["dirty"])  # type: ignore[arg-type]
+                )
+                metrics.gauge("incr_reuse_fraction").set(
+                    float(info["fraction"])  # type: ignore[arg-type]
+                )
+
+    if schedule is None:
+        if backend == "numba":
+            schedule, counters = _flb_numba(graph, machine, prefer_non_ep_on_tie)
+        else:
+            schedule, counters = _flb_array_impl(
+                graph, machine, prefer_non_ep_on_tie
+            )
+    schedule._flb_prefer = prefer_non_ep_on_tie
 
     if metrics is not None:
         iterations, heap_ops, ep_choices, non_ep_choices = counters
@@ -357,6 +405,27 @@ def _flb_array_run_interpreted(
     return schedule, (c[0], c[1], c[2], c[3])
 
 
+def _interp_inputs(
+    graph: TaskGraph, machine: MachineModel
+) -> Tuple[List[float], List[float], bool, List[float]]:
+    """Interpreter list mirrors of the state-vector inputs, memoized next to
+    the vectors themselves (graph-pure, machine-keyed where needed)."""
+    neg_bl_arr, pred_delay_arr, _comp, homogeneous, speeds_arr = _kernel_inputs(
+        graph, machine
+    )
+    cache = graph._prop_cache
+    delay_key = ("pred_delay_list", machine.latency, machine.comm_scale)
+    pred_delay: List[float] = cache.get(delay_key)  # type: ignore[assignment]
+    if pred_delay is None:
+        pred_delay = pred_delay_arr.tolist()
+        cache[delay_key] = pred_delay
+    neg_bl: List[float] = cache.get("neg_bl_list")  # type: ignore[assignment]
+    if neg_bl is None:
+        neg_bl = neg_bl_arr.tolist()
+        cache["neg_bl_list"] = neg_bl
+    return pred_delay, neg_bl, homogeneous, speeds_arr.tolist()
+
+
 def _flb_array_impl(
     graph: TaskGraph,
     machine: MachineModel,
@@ -368,32 +437,14 @@ def _flb_array_impl(
     differences are mechanical: vectorized initialization, the precomputed
     ``pred_delay`` vector, inlined active-list refreshes, and batched
     placement into the state vectors with one
-    :meth:`Schedule._from_arrays` call at the end.
+    :meth:`Schedule._from_arrays` call at the end.  The main loop lives in
+    :func:`_flb_array_loop` so the warm-start path can drive it from a
+    seeded mid-run state.
     """
     n = graph.num_tasks
     num_procs = machine.num_procs
     csr = graph.csr()
-    neg_bl_arr, pred_delay_arr, _comp, homogeneous, speeds_arr = _kernel_inputs(
-        graph, machine
-    )
-
-    # Interpreter list mirrors of the state-vector inputs, memoized next to
-    # the vectors themselves (graph-pure, machine-keyed where needed).
-    cache = graph._prop_cache
-    delay_key = ("pred_delay_list", machine.latency, machine.comm_scale)
-    pred_delay: List[float] = cache.get(delay_key)  # type: ignore[assignment]
-    if pred_delay is None:
-        pred_delay = pred_delay_arr.tolist()
-        cache[delay_key] = pred_delay
-    neg_bl: List[float] = cache.get("neg_bl_list")  # type: ignore[assignment]
-    if neg_bl is None:
-        neg_bl = neg_bl_arr.tolist()
-        cache["neg_bl_list"] = neg_bl
-    lists = csr.lists
-    pred_ptr, pred_ids = lists.pred_ptr, lists.pred_ids
-    succ_ptr, succ_ids = lists.succ_ptr, lists.succ_ids
-    comp: List[float] = graph._comp
-    speeds: List[float] = speeds_arr.tolist()
+    _pred_delay, neg_bl, _homog, _speeds = _interp_inputs(graph, machine)
 
     state = [_NOT_READY] * n
     finish = [0.0] * n
@@ -411,17 +462,61 @@ def _flb_array_impl(
     all_heap = [(0.0, p) for p in range(num_procs)]  # sorted => a valid heap
 
     heap_pushes = 0
-    ep_choices = 0
-    non_ep_choices = 0
-
     for t in graph.entry_tasks:
         # Entry tasks have no enabling processor and are non-EP with LMT 0.
         state[t] = _NON_EP
         heappush(non_ep_heap, (0.0, neg_bl[t], t))
         heap_pushes += 1
 
+    return _flb_array_loop(
+        graph, machine, prefer_non_ep_on_tie,
+        state, finish, on_proc, start, order, npreds, prt,
+        emt_heaps, lmt_heaps, non_ep_heap, active_heap, active_est, all_heap,
+        n, heap_pushes,
+    )
+
+
+def _flb_array_loop(
+    graph: TaskGraph,
+    machine: MachineModel,
+    prefer_non_ep_on_tie: bool,
+    state: List[int],
+    finish: List[float],
+    on_proc: List[int],
+    start: List[float],
+    order: List[int],
+    npreds: List[int],
+    prt: List[float],
+    emt_heaps: List[List[Tuple[float, float, int]]],
+    lmt_heaps: List[List[Tuple[float, float, int]]],
+    non_ep_heap: List[Tuple[float, float, int]],
+    active_heap: List[Tuple[float, int]],
+    active_est: List[Optional[float]],
+    all_heap: List[Tuple[float, int]],
+    iterations: int,
+    heap_pushes: int,
+) -> Tuple[Schedule, Tuple[int, int, int, int]]:
+    """The interpreted main loop, decision-identical to
+    :func:`repro.core.flb._flb_fast`, over caller-initialized state.
+
+    Cold runs (:func:`_flb_array_impl`) enter with pristine state and
+    ``iterations = V``; warm runs (:func:`_try_warm_start`) enter with the
+    base schedule's clean prefix already applied and ``iterations`` equal
+    to the remaining suffix.  Either way the per-iteration decisions — the
+    same float expressions, heap keys, and tie rules — come from this one
+    body, so the two paths cannot drift apart.
+    """
+    lists = graph.csr().lists
+    pred_ptr, pred_ids = lists.pred_ptr, lists.pred_ids
+    succ_ptr, succ_ids = lists.succ_ptr, lists.succ_ids
+    pred_delay, neg_bl, homogeneous, speeds = _interp_inputs(graph, machine)
+    comp: List[float] = graph._comp
+
+    ep_choices = 0
+    non_ep_choices = 0
+
     append_order = order.append
-    for _ in range(n):
+    for _ in range(iterations):
         # Candidate (a): EP task with minimum EST on its enabling processor.
         while active_heap:
             est, p = active_heap[0]
@@ -570,4 +665,182 @@ def _flb_array_impl(
     schedule = Schedule._from_arrays(
         graph, machine, order, on_proc, start, finish, prt
     )
-    return schedule, (n, heap_pushes, ep_choices, non_ep_choices)
+    return schedule, (iterations, heap_pushes, ep_choices, non_ep_choices)
+
+
+def _try_warm_start(
+    graph: TaskGraph,
+    machine: MachineModel,
+    prefer_non_ep_on_tie: bool,
+    base: Schedule,
+) -> "Tuple[Schedule, Tuple[int, int, int, int], Dict[str, object]] | str":
+    """Attempt a warm-start run of ``graph`` from ``base``'s clean prefix.
+
+    Returns ``(schedule, counters, info)`` on success or a fallback-reason
+    string when the base is unusable — the caller then runs cold; a warm
+    attempt never produces a schedule that differs from the cold run's.
+    """
+    if not base.complete:
+        return "base-incomplete"
+    if base.machine != machine:
+        return "machine-mismatch"
+    if base._flb_prefer != prefer_non_ep_on_tie:
+        return "tie-rule-mismatch"
+    from repro.incremental import diff_prefix
+
+    try:
+        diff = diff_prefix(base, graph)
+        if diff.reuse_steps <= 0:
+            return "no-clean-prefix"
+        schedule, counters = _flb_warm_impl(
+            graph, machine, prefer_non_ep_on_tie, base, diff.reuse_steps
+        )
+    except Exception:
+        # Defensive: an unexpected failure in the incremental plane must
+        # degrade to a cold run, never to an error or a wrong schedule.
+        return "error"
+    info: Dict[str, object] = {
+        "reused": diff.reuse_steps,
+        "replayed": diff.total - diff.reuse_steps,
+        "total": diff.total,
+        "dirty": diff.dirty,
+        "fraction": diff.reuse_fraction,
+    }
+    return schedule, counters, info
+
+
+def _flb_warm_impl(
+    graph: TaskGraph,
+    machine: MachineModel,
+    prefer_non_ep_on_tie: bool,
+    base: Schedule,
+    k: int,
+) -> Tuple[Schedule, Tuple[int, int, int, int]]:
+    """Apply the first ``k`` base placements, rebuild the kernel state they
+    imply, and run :func:`_flb_array_loop` over the remaining suffix.
+
+    The rebuilt state is exactly what a cold run holds after ``k``
+    iterations, up to heap-internal layout (stale lazily-invalidated
+    entries are simply absent; every heap key embeds the task/processor id,
+    so the rebuilt heaps expose identical minima):
+
+    * ``PRT`` is the max finish per processor over the prefix;
+    * a task is EP iff its last message arrives at or after the *current*
+      PRT of its enabling processor — PRT only rises and the demotion loop
+      drains every EP entry below it, so demotions are permanent and the
+      inequality characterizes the surviving EP set;
+    * demoted/non-EP entries re-enter with the same ``(LMT, -BL, id)`` key
+      the cold run pushed.
+    """
+    n = graph.num_tasks
+    num_procs = machine.num_procs
+    csr = graph.csr()
+    order_b, proc_b, start_b, finish_b = base._placement_arrays()
+    prefix = order_b[:k]
+
+    proc_arr = np.zeros(n, dtype=np.int64)
+    start_arr = np.zeros(n, dtype=np.float64)
+    finish_arr = np.zeros(n, dtype=np.float64)
+    proc_arr[prefix] = proc_b[prefix]
+    start_arr[prefix] = start_b[prefix]
+    finish_arr[prefix] = finish_b[prefix]
+    state_arr = np.full(n, _NOT_READY, dtype=np.int64)
+    state_arr[prefix] = _DONE
+    prt_arr = np.zeros(num_procs, dtype=np.float64)
+    np.maximum.at(prt_arr, proc_arr[prefix], finish_arr[prefix])
+
+    # Remaining unscheduled-predecessor counts: indegree minus placed preds
+    # (counted on the successor side of the CSR, one bincount).
+    outdeg = np.diff(csr.succ_ptr)
+    placed_succ = _concat_slices(csr.succ_ptr[prefix], outdeg[prefix])
+    npreds_arr = csr.in_degrees_array() - np.bincount(
+        csr.succ_ids[placed_succ], minlength=n
+    )
+    ready_mask = npreds_arr == 0
+    ready_mask[prefix] = False
+
+    state = state_arr.tolist()
+    finish = finish_arr.tolist()
+    on_proc = proc_arr.tolist()
+    start = start_arr.tolist()
+    order: List[int] = prefix.tolist()
+    npreds: List[int] = npreds_arr.tolist()
+    prt: List[float] = prt_arr.tolist()
+
+    lists = csr.lists
+    pred_ptr, pred_ids = lists.pred_ptr, lists.pred_ids
+    pred_delay, neg_bl, _homog, _speeds = _interp_inputs(graph, machine)
+
+    emt_lists: List[List[Tuple[float, float, int]]] = [[] for _ in range(num_procs)]
+    lmt_lists: List[List[Tuple[float, float, int]]] = [[] for _ in range(num_procs)]
+    non_ep_heap: List[Tuple[float, float, int]] = []
+    heap_pushes = 0
+    for t in np.flatnonzero(ready_mask).tolist():
+        lo, hi = pred_ptr[t], pred_ptr[t + 1]
+        nbl = neg_bl[t]
+        if lo == hi:
+            state[t] = _NON_EP
+            non_ep_heap.append((0.0, nbl, t))
+            heap_pushes += 1
+            continue
+        # The same fused predecessor pass the main loop runs on readiness
+        # (all predecessors of a ready task are in the placed prefix).
+        b_arr = -1.0
+        b_ft = -1.0
+        b_id = -1
+        b_proc = 0
+        alt = 0.0
+        max_ft = 0.0
+        for i in range(lo, hi):
+            pred = pred_ids[i]
+            ft_p = finish[pred]
+            arr = ft_p + pred_delay[i]
+            pp = on_proc[pred]
+            if ft_p > max_ft:
+                max_ft = ft_p
+            if arr > b_arr or (
+                arr == b_arr and (ft_p > b_ft or (ft_p == b_ft and pred > b_id))
+            ):
+                if pp != b_proc and b_arr > alt:
+                    alt = b_arr
+                b_arr = arr
+                b_ft = ft_p
+                b_id = pred
+                b_proc = pp
+            elif pp != b_proc and arr > alt:
+                alt = arr
+        emt = max_ft if max_ft > alt else alt
+        if b_arr >= prt[b_proc]:
+            state[t] = _EP
+            emt_lists[b_proc].append((emt, nbl, t))
+            lmt_lists[b_proc].append((b_arr, nbl, t))
+            heap_pushes += 2
+        else:
+            state[t] = _NON_EP
+            non_ep_heap.append((b_arr, nbl, t))
+            heap_pushes += 1
+
+    heapify(non_ep_heap)
+    active_est: List[Optional[float]] = [None] * num_procs
+    active_heap: List[Tuple[float, int]] = []
+    for p in range(num_procs):
+        heapify(emt_lists[p])
+        heapify(lmt_lists[p])
+        if emt_lists[p]:
+            aest = emt_lists[p][0][0]
+            rt = prt[p]
+            if rt > aest:
+                aest = rt
+            active_est[p] = aest
+            active_heap.append((aest, p))
+    heapify(active_heap)
+    all_heap: List[Tuple[float, int]] = sorted(
+        (prt[p], p) for p in range(num_procs)
+    )
+
+    return _flb_array_loop(
+        graph, machine, prefer_non_ep_on_tie,
+        state, finish, on_proc, start, order, npreds, prt,
+        emt_lists, lmt_lists, non_ep_heap, active_heap, active_est, all_heap,
+        n - k, heap_pushes,
+    )

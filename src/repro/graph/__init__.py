@@ -17,6 +17,8 @@ from repro.graph.properties import (
     critical_path_tasks,
     parallelism_profile,
     static_levels,
+    subgraph_hash_array,
+    subgraph_hashes,
     top_levels,
     width,
     width_lower_bound,
@@ -36,6 +38,8 @@ __all__ = [
     "width",
     "width_lower_bound",
     "parallelism_profile",
+    "subgraph_hashes",
+    "subgraph_hash_array",
     "to_json",
     "from_json",
     "save_json",

@@ -28,6 +28,8 @@ reporting on very large graphs.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from collections import deque
 from typing import Deque, Dict, List, Sequence
 
@@ -49,6 +51,8 @@ __all__ = [
     "width",
     "width_lower_bound",
     "parallelism_profile",
+    "subgraph_hashes",
+    "subgraph_hash_array",
     "transitive_closure_bitsets",
 ]
 
@@ -228,6 +232,78 @@ def top_levels_array(graph: TaskGraph) -> FloatArray:
         frontier = candidates[indeg[candidates] == 0]
     graph._prop_cache["tl_arr"] = tl
     return tl
+
+
+#: Domain separator for the per-task digests (16 bytes, blake2b ``person``).
+_SUBHASH_PERSON = b"repro-subhash-v1"
+
+
+def subgraph_hashes(graph: TaskGraph) -> List[bytes]:
+    """Per-task *upward subgraph* digests (16-byte blake2b each; cached).
+
+    ``hash(t)`` covers everything a scheduler's placement of ``t`` can read
+    from the graph on the ancestor side: ``comp(t)``, the effective task name
+    (:meth:`TaskGraph.name`, so an unset name equals an explicit ``"t<id>"``),
+    and the multiset of ``(hash(pred), comm(pred, t))`` pairs.  Two tasks get
+    equal digests iff their upward closures are isomorphic with identical
+    weights and names — in particular the digests are invariant under edge
+    insertion order and, for explicitly named tasks, under
+    :meth:`TaskGraph.relabeled` permutations.
+
+    This is the identity the incremental rescheduling plane
+    (:mod:`repro.incremental`) diffs: a task whose upward hash (and bottom
+    level) is unchanged between two graphs sees exactly the same placement
+    inputs, so its base-schedule placement can be reused verbatim.
+
+    One ``O(V + E)`` CSR topological sweep; frozen graphs cache the result
+    like :meth:`TaskGraph.fingerprint`.
+    """
+    graph.freeze()
+    cached = graph._prop_cache.get("subh")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    digests: List[bytes] = [b""] * graph.num_tasks
+    _fill_subgraph_hashes(graph, digests, graph.topological_order)
+    graph._prop_cache["subh"] = digests
+    return digests
+
+
+def _fill_subgraph_hashes(
+    graph: TaskGraph, digests: List[bytes], tasks: Sequence[int]
+) -> None:
+    """Compute digests for ``tasks`` (a topological-order subsequence) in
+    place, assuming every predecessor outside ``tasks`` is already filled."""
+    csr = graph.csr().lists
+    pred_ptr, pred_ids, pred_comm = csr.pred_ptr, csr.pred_ids, csr.pred_comm
+    comps = graph.comps
+    blake2b = hashlib.blake2b
+    pack = struct.pack
+    name_of = graph.name
+    for t in tasks:
+        name = name_of(t).encode()
+        lo, hi = pred_ptr[t], pred_ptr[t + 1]
+        entries = sorted(
+            digests[pred_ids[i]] + pack("<d", pred_comm[i]) for i in range(lo, hi)
+        )
+        payload = pack("<dI", comps[t], len(name)) + name + b"".join(entries)
+        digests[t] = blake2b(
+            payload, digest_size=16, person=_SUBHASH_PERSON
+        ).digest()
+
+
+def subgraph_hash_array(graph: TaskGraph) -> npt.NDArray[np.bytes_]:
+    """:func:`subgraph_hashes` as a NumPy ``S16`` vector (cached).
+
+    The fixed-width view makes whole-graph digest comparison a single
+    vectorized ``==`` — the hot path of the incremental differ.
+    """
+    graph.freeze()
+    cached = graph._prop_cache.get("subh_arr")
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    result = np.array(subgraph_hashes(graph), dtype="S16")
+    graph._prop_cache["subh_arr"] = result
+    return result
 
 
 def static_levels(graph: TaskGraph) -> List[float]:

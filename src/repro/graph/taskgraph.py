@@ -436,13 +436,28 @@ class TaskGraph:
     # -- helpers ---------------------------------------------------------------
 
     def copy(self, mutable: bool = False) -> "TaskGraph":
-        """Return a copy; ``mutable=True`` yields an unfrozen copy."""
+        """Return a copy; ``mutable=True`` yields an unfrozen copy.
+
+        Frozen-to-frozen copies share the immutable derived state (CSR
+        arrays, topological order, cached properties, fingerprint, subgraph
+        hashes) instead of recompiling and re-hashing it — the batch/serve
+        planes copy structurally unchanged graphs on every dispatch.
+        """
         g = TaskGraph()
         g._comp = list(self._comp)
         g._names = list(self._names)
         g._edges = dict(self._edges)
         if self._frozen and not mutable:
-            g.freeze()
+            g._succs = list(self._succs)
+            g._preds = list(self._preds)
+            g._topo = self._topo
+            g._entries = self._entries
+            g._exits = self._exits
+            g._csr = self._csr
+            g._comps_np = self._comps_np
+            g._prop_cache = dict(self._prop_cache)
+            g._fingerprint = self._fingerprint
+            g._frozen = True
         return g
 
     def relabeled(self, permutation: Sequence[int]) -> "TaskGraph":

@@ -1,0 +1,313 @@
+"""Incremental rescheduling: diff two frozen graphs, reuse a schedule prefix.
+
+Real serving traffic mutates DAGs (append a pipeline stage, retune a few
+task weights) rather than submitting fresh graphs.  List-scheduling
+decisions depend only on the already-placed frontier, so the prefix of a
+base schedule whose inputs are unchanged is reusable verbatim — this module
+computes *how much* of it is.
+
+Identity of a placement's inputs
+--------------------------------
+
+FLB's selection of the ``k``-th placement reads, for every candidate task:
+its computation cost, its predecessors' finish times and placements plus
+the per-edge communication delays (``LMT``/``EMT``/``EST``), its bottom
+level (the heap tie key), and its id.  Two per-task quantities therefore
+certify reuse between a base graph and a new graph sharing the id space:
+
+* the **upward subgraph hash** (:func:`repro.graph.properties.subgraph_hashes`)
+  — equal iff the whole ancestor side (comps, names, in-edges, recursively)
+  is unchanged, and
+* the **bottom level** — equal iff the descendant side the tie-break reads
+  is unchanged.
+
+A task with both unchanged is *clean*.  The maximal reusable prefix is then
+``reuse_steps`` = the largest ``k`` such that (a) the first ``k`` tasks of
+the base placement order are all clean, and (b) no dirty task of the new
+graph can enter the ready set before step ``k`` (a dirty task whose
+predecessors are all clean becomes ready right after its last predecessor's
+base placement; dirty tasks with a dirty predecessor become ready later by
+induction).  Until step ``reuse_steps`` a cold run on the new graph makes
+exactly the base run's choices: dirty tasks are absent from every ready
+list, and a base-run heap entry that is *not selected* cannot change which
+task is selected (removing a heap minimum only raises the opposing
+candidate's key, preserving every Theorem-3 comparison the base run made).
+
+The hashes themselves are computed *incrementally* against the base: a raw
+vectorized diff (comps, names, pred-CSR rows) seeds a descendant closure,
+unaffected digests are copied from the base, and only affected tasks are
+re-hashed — ``O(dirty)`` blake2b calls instead of ``O(V)``.
+
+:class:`ScheduleBaseCache` is the process-global bounded LRU of warm bases
+(``fingerprint -> Schedule``) the batch/serve planes consult.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.graph.properties import (
+    _concat_slices,
+    _fill_subgraph_hashes,
+    bottom_levels_array,
+    subgraph_hash_array,
+    subgraph_hashes,
+)
+from repro.graph.taskgraph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "GraphDiff",
+    "diff_prefix",
+    "incremental_subgraph_hashes",
+    "ScheduleBaseCache",
+    "base_cache",
+]
+
+BoolArray = npt.NDArray[np.bool_]
+
+
+@dataclass(frozen=True)
+class GraphDiff:
+    """Result of diffing a base schedule's graph against a new graph."""
+
+    reuse_steps: int  #: placements of the base order that replay verbatim
+    total: int  #: tasks in the new graph
+    changed: int  #: tasks whose own comp/name/in-edges differ (raw diff)
+    dirty: int  #: changed tasks plus their descendants (hash-dirty closure)
+    bl_dirty: int  #: tasks whose bottom level changed (tie-key dirty)
+
+    @property
+    def reuse_fraction(self) -> float:
+        return self.reuse_steps / self.total if self.total else 0.0
+
+
+def _raw_changed(base: TaskGraph, new: TaskGraph) -> BoolArray:
+    """Tasks of ``new`` whose *own* placement inputs differ from the task
+    with the same id in ``base``: computation cost, effective name, or
+    predecessor row (ids and communication costs).  Ids absent from
+    ``base`` are changed by definition.  Fully vectorized over the CSR."""
+    vb, vn = base.num_tasks, new.num_tasks
+    vc = min(vb, vn)
+    changed = np.zeros(vn, dtype=bool)
+    if vn > vc:
+        changed[vc:] = True
+    changed[:vc] |= base.comps_array()[:vc] != new.comps_array()[:vc]
+    names_b, names_n = base._names, new._names
+    if names_b[:vc] != names_n[:vc]:
+        for i in range(vc):
+            a, b = names_b[i], names_n[i]
+            if a != b and (a or f"t{i}") != (b or f"t{i}"):
+                changed[i] = True
+    csr_b, csr_n = base.csr(), new.csr()
+    deg_b = np.diff(csr_b.pred_ptr)[:vc]
+    deg_n = np.diff(csr_n.pred_ptr)[:vc]
+    deg_mismatch = deg_b != deg_n
+    changed[:vc] |= deg_mismatch
+    rows = np.flatnonzero(~deg_mismatch & (deg_b > 0))
+    if rows.size:
+        cnt = deg_b[rows]
+        idx_b = _concat_slices(csr_b.pred_ptr[rows], cnt)
+        idx_n = _concat_slices(csr_n.pred_ptr[rows], cnt)
+        mism = (csr_b.pred_ids[idx_b] != csr_n.pred_ids[idx_n]) | (
+            csr_b.pred_comm[idx_b] != csr_n.pred_comm[idx_n]
+        )
+        changed[rows] |= np.logical_or.reduceat(mism, np.cumsum(cnt) - cnt)
+    return changed
+
+
+def _descendant_closure(graph: TaskGraph, seed: BoolArray) -> BoolArray:
+    """``seed`` plus every task reachable from it (vectorized frontier)."""
+    csr = graph.csr()
+    succ_ptr, succ_ids = csr.succ_ptr, csr.succ_ids
+    affected = seed.copy()
+    frontier = np.flatnonzero(seed)
+    while frontier.size:
+        counts = succ_ptr[frontier + 1] - succ_ptr[frontier]
+        idx = _concat_slices(succ_ptr[frontier], counts)
+        if idx.size == 0:
+            break
+        succs = np.unique(succ_ids[idx])
+        fresh = succs[~affected[succs]]
+        affected[fresh] = True
+        frontier = fresh
+    return affected
+
+
+def _seed_hashes(new: TaskGraph, base: TaskGraph, dirty: BoolArray) -> None:
+    """Fill ``new``'s digest cache: copy base digests outside ``dirty``
+    (their upward closures are bitwise identical, so the digests provably
+    match a full sweep), re-hash the dirty tasks in topological order."""
+    if new._prop_cache.get("subh") is not None:
+        return
+    vn = new.num_tasks
+    vc = min(base.num_tasks, vn)
+    digests_base = subgraph_hashes(base)
+    digests: List[bytes] = digests_base[:vc] + [b""] * (vn - vc)
+    topo = np.asarray(new.topological_order, dtype=np.int64)
+    dirty_topo = topo[dirty[topo]]
+    _fill_subgraph_hashes(new, digests, dirty_topo.tolist())
+    new._prop_cache["subh"] = digests
+
+
+def incremental_subgraph_hashes(new: TaskGraph, base: TaskGraph) -> BoolArray:
+    """Populate ``new``'s subgraph-hash cache by diffing against ``base``.
+
+    ``O(dirty)`` blake2b calls plus vectorized ``O(V + E)`` array sweeps.
+    Returns the dirty mask (raw-changed tasks and their descendants).
+    After this call :func:`~repro.graph.properties.subgraph_hashes` /
+    :func:`~repro.graph.properties.subgraph_hash_array` on ``new`` are free.
+    """
+    new.freeze()
+    base.freeze()
+    dirty = _descendant_closure(new, _raw_changed(base, new))
+    _seed_hashes(new, base, dirty)
+    return dirty
+
+
+def diff_prefix(base: Schedule, new: TaskGraph) -> GraphDiff:
+    """Diff ``base``'s graph against ``new``; compute the reusable prefix.
+
+    The machine view and tie rule are the caller's to check (the warm-start
+    entry in :mod:`repro.core.flb_array` does); this function is purely
+    graph-side.  ``base`` must be complete.
+    """
+    new.freeze()
+    graph_b = base.graph
+    vb, vn = graph_b.num_tasks, new.num_tasks
+    vc = min(vb, vn)
+
+    changed = _raw_changed(graph_b, new)
+    dirty = _descendant_closure(new, changed)
+    _seed_hashes(new, graph_b, dirty)
+    hashes_b = subgraph_hash_array(graph_b)
+    hashes_n = subgraph_hash_array(new)
+    bl_b = bottom_levels_array(graph_b)
+    bl_n = bottom_levels_array(new)
+
+    # Clean = same upward hash (ancestor side) and same bottom level
+    # (descendant side / heap tie key); over the shared id space only.
+    clean_common = (hashes_b[:vc] == hashes_n[:vc]) & (bl_b[:vc] == bl_n[:vc])
+    clean_new = np.zeros(vn, dtype=bool)
+    clean_new[:vc] = clean_common
+    bl_dirty = int(vn - vc + int(np.count_nonzero(bl_b[:vc] != bl_n[:vc])))
+
+    order_b, _proc_b, _start_b, _finish_b = base._placement_arrays()
+    clean_base = np.zeros(vb, dtype=bool)
+    clean_base[:vc] = clean_common
+
+    # Candidate (a): the first base placement that is not clean caps the
+    # prefix — its selection is the first the two runs can disagree on.
+    not_clean_pos = np.flatnonzero(~clean_base[order_b])
+    k_a = int(not_clean_pos[0]) if not_clean_pos.size else vb
+
+    # Candidate (b): the earliest step a dirty task of the new graph can
+    # enter the ready set.  A dirty task whose preds are all clean becomes
+    # ready right after its last pred's base placement; dirty tasks with a
+    # dirty pred are ready strictly later (their pred places at >= k*).
+    k_b = vb
+    dirty_ids = np.flatnonzero(~clean_new)
+    if dirty_ids.size:
+        pos = np.zeros(vn, dtype=np.int64)
+        pos_b = np.empty(vb, dtype=np.int64)
+        pos_b[order_b] = np.arange(vb, dtype=np.int64)
+        pos[:vc] = pos_b[:vc]
+        csr_n = new.csr()
+        deg = np.diff(csr_n.pred_ptr)[dirty_ids]
+        if bool((deg == 0).any()):
+            k_b = 0
+        else:
+            cnt_idx = _concat_slices(csr_n.pred_ptr[dirty_ids], deg)
+            preds = csr_n.pred_ids[cnt_idx]
+            seg = np.cumsum(deg) - deg
+            preds_clean = clean_new[preds]
+            all_clean = np.logical_and.reduceat(preds_clean, seg)
+            if bool(all_clean.any()):
+                entry = np.maximum.reduceat(
+                    np.where(preds_clean, pos[preds], -1), seg
+                )
+                k_b = int(entry[all_clean].min()) + 1
+
+    return GraphDiff(
+        reuse_steps=min(k_a, k_b),
+        total=vn,
+        changed=int(np.count_nonzero(changed)),
+        dirty=int(np.count_nonzero(dirty)),
+        bl_dirty=bl_dirty,
+    )
+
+
+class ScheduleBaseCache:
+    """Bounded LRU of warm-start bases, keyed by graph fingerprint.
+
+    Process-global (see :func:`base_cache`): the batch plane's worker
+    processes each hold their own, like the graph-decode caches.  ``get``
+    with an unknown or ``None`` fingerprint falls back to the most recently
+    used base — the differ makes an unrelated base harmless (it yields an
+    empty clean prefix and the run falls back to cold).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Schedule]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, fingerprint: Optional[str] = None) -> Optional[Schedule]:
+        with self._lock:
+            if fingerprint is not None:
+                entry = self._entries.get(fingerprint)
+                if entry is not None:
+                    self._entries.move_to_end(fingerprint)
+                    self.hits += 1
+                    return entry
+            self.misses += 1
+            if self._entries:
+                # Latest-base fallback: newest entry, without re-ranking it.
+                return next(reversed(self._entries.values()))
+            return None
+
+    def put(self, fingerprint: str, schedule: Schedule) -> None:
+        with self._lock:
+            self._entries[fingerprint] = schedule
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_BASE_CACHE = ScheduleBaseCache()
+
+
+def base_cache() -> ScheduleBaseCache:
+    """The process-global warm-base LRU (one per worker process)."""
+    return _BASE_CACHE

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Tuple
 
-from repro.obs.trace import JOB_EVENT, PHASE_NAMES
+from repro.obs.trace import JOB_EVENT, PHASE_NAMES, RUN_EVENT
 
 __all__ = ["summarize_trace", "render_report"]
 
@@ -31,7 +31,12 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     ``algos`` (per-algorithm job count and wall), ``failures`` (count per
     ``error_kind``), ``kernels`` (scheduling-backend usage gathered from
     ``batch.job`` and ``sched.kernel`` events: ``object`` / ``array`` /
-    ``numba``) and ``spans`` (every non-job event name: count, total
+    ``numba``), ``cache`` (serving-cache effectiveness aggregated from
+    ``batch.run`` events: per-run hit and coalescing totals plus the
+    result cache's cumulative counters and hit rate), ``warm``
+    (warm-start rescheduling outcomes from ``batch.job`` events: jobs
+    served from a base schedule, mean reuse fraction, fallback counts
+    per reason) and ``spans`` (every non-job event name: count, total
     seconds).
     """
     jobs = [e for e in events if e["name"] == JOB_EVENT]
@@ -63,6 +68,48 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         kernel = e["attrs"].get("kernel")
         if kernel is not None:
             kernels[str(kernel)] = kernels.get(str(kernel), 0) + 1
+
+    # Warm-start outcomes ride on batch.job events ("warm" attribute).
+    warm_served = 0
+    warm_fallbacks: Dict[str, int] = {}
+    warm_fractions: List[float] = []
+    for e in jobs:
+        warm = e["attrs"].get("warm")
+        if not isinstance(warm, dict) or not warm:
+            continue
+        fallback = warm.get("fallback")
+        if fallback is not None:
+            key = str(fallback)
+            warm_fallbacks[key] = warm_fallbacks.get(key, 0) + 1
+        else:
+            warm_served += 1
+            warm_fractions.append(float(warm.get("fraction", 0.0)))
+
+    # Serving-cache effectiveness rides on batch.run events: per-run
+    # hit/coalescing totals are additive; the embedded "cache" stats are
+    # cumulative, so the last run carries the end-of-trace truth.
+    runs = [e for e in events if e["name"] == RUN_EVENT]
+    cache_info: Dict[str, Any] = {}
+    if runs:
+        cache_info = {
+            "batches": len(runs),
+            "hits": sum(int(e["attrs"].get("cache_hits", 0)) for e in runs),
+            "coalesced": sum(int(e["attrs"].get("coalesced", 0)) for e in runs),
+        }
+        last_stats = None
+        for e in runs:
+            if isinstance(e["attrs"].get("cache"), dict):
+                last_stats = e["attrs"]["cache"]
+        if last_stats is not None:
+            lookups = int(last_stats.get("hits", 0)) + int(last_stats.get("misses", 0))
+            cache_info.update(
+                evictions=int(last_stats.get("evictions", 0)),
+                size=int(last_stats.get("size", 0)),
+                capacity=int(last_stats.get("capacity", 0)),
+                hit_rate=(
+                    int(last_stats.get("hits", 0)) / lookups if lookups else 0.0
+                ),
+            )
 
     spans: Dict[str, Dict[str, float]] = {}
     for e in events:
@@ -111,6 +158,15 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         ],
         "failures": dict(sorted(failures.items())),
         "kernels": dict(sorted(kernels.items())),
+        "cache": cache_info,
+        "warm": {
+            "served": warm_served,
+            "mean_reuse": (
+                sum(warm_fractions) / len(warm_fractions)
+                if warm_fractions else 0.0
+            ),
+            "fallbacks": dict(sorted(warm_fallbacks.items())),
+        },
         "spans": [
             {"name": name, "count": int(st["count"]), "seconds": st["seconds"]}
             for name, st in sorted(spans.items())
@@ -173,6 +229,32 @@ def render_report(events: List[Dict[str, Any]]) -> str:
             f"{kernel}: {count}" for kernel, count in summary["kernels"].items()
         )
         blocks.append(f"scheduling backend: {usage}")
+    cache = summary["cache"]
+    if cache:
+        line = (
+            f"serving cache: {cache['hits']} hit(s), "
+            f"{cache['coalesced']} coalesced across {cache['batches']} batch(es)"
+        )
+        if "hit_rate" in cache:
+            line += (
+                f" — cumulative hit rate {cache['hit_rate'] * 100:.1f}%, "
+                f"{cache['evictions']} eviction(s), "
+                f"{cache['size']}/{cache['capacity']} entries"
+            )
+        blocks.append(line)
+    warm = summary["warm"]
+    if warm["served"] or warm["fallbacks"]:
+        line = (
+            f"warm-start: {warm['served']} job(s) replayed from a base "
+            f"schedule (mean reuse {warm['mean_reuse'] * 100:.1f}%)"
+        )
+        if warm["fallbacks"]:
+            falls = ", ".join(
+                f"{reason}: {count}"
+                for reason, count in warm["fallbacks"].items()
+            )
+            line += f"; cold fallbacks — {falls}"
+        blocks.append(line)
     if summary["spans"]:
         blocks.append(
             format_table(

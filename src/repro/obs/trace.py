@@ -17,6 +17,12 @@ phase name to seconds whose values sum to ``wall`` (up to float rounding).
 The canonical phase names are ``queue``, ``attach``, ``schedule``,
 ``certify`` and ``other`` (dispatch/reply overhead, computed as the
 residual); see docs/observability.md.
+
+``batch.run`` events (one per :func:`repro.batch.schedule_many` call)
+carry the batch-level accounting in ``attrs``: ``jobs``, ``dispatched``,
+``cache_hits``, ``coalesced`` and — when the batch ran with a result
+cache — ``cache``, the cache's cumulative ``hits`` / ``misses`` /
+``evictions`` / ``size`` / ``capacity`` counters at the end of the run.
 """
 
 from __future__ import annotations
@@ -24,10 +30,13 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-__all__ = ["read_trace", "validate_event", "JOB_EVENT", "PHASE_NAMES"]
+__all__ = ["read_trace", "validate_event", "JOB_EVENT", "RUN_EVENT", "PHASE_NAMES"]
 
 #: Name of the per-job trace event emitted by the batch plane.
 JOB_EVENT = "batch.job"
+
+#: Name of the per-batch trace event emitted by the batch plane.
+RUN_EVENT = "batch.run"
 
 #: Canonical per-job phase names, in pipeline order.
 PHASE_NAMES = ("queue", "attach", "schedule", "certify", "other")

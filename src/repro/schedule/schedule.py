@@ -23,7 +23,10 @@ first principles (used by the test suite on every scheduler output):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+import numpy.typing as npt
 
 from repro.exceptions import InvalidScheduleError, ScheduleError
 from repro.graph.taskgraph import TaskGraph
@@ -60,6 +63,18 @@ class Schedule:
         self._num_placed = 0
         self._proc_tasks: List[List[int]] = [[] for _ in machine.procs]
         self._prt: List[float] = [0.0] * machine.num_procs
+        self._order: List[int] = []
+        self._arrays_cache: Optional[
+            Tuple[
+                npt.NDArray[np.int64],
+                npt.NDArray[np.int64],
+                npt.NDArray[np.float64],
+                npt.NDArray[np.float64],
+            ]
+        ] = None
+        # Tie-rule provenance stamped by the FLB kernels: warm-start reuse
+        # requires the base to have been produced under the same rule.
+        self._flb_prefer: Optional[bool] = None
 
     # -- construction -----------------------------------------------------
 
@@ -99,6 +114,8 @@ class Schedule:
         self._finish[task] = finish
         self._placed[task] = True
         self._num_placed += 1
+        self._order.append(task)
+        self._arrays_cache = None
         tasks_on_proc.insert(position, task)
         if finish > self._prt[proc]:
             self._prt[proc] = finish
@@ -121,6 +138,8 @@ class Schedule:
         self._finish[task] = finish
         self._placed[task] = True
         self._num_placed += 1
+        self._order.append(task)
+        self._arrays_cache = None
         self._proc_tasks[proc].append(task)
         if finish > self._prt[proc]:
             self._prt[proc] = finish
@@ -163,6 +182,9 @@ class Schedule:
         self._num_placed = len(order)
         self._proc_tasks = proc_tasks
         self._prt = prt
+        self._order = order
+        self._arrays_cache = None
+        self._flb_prefer = None
         return self
 
     def _insertion_position(
@@ -257,6 +279,41 @@ class Schedule:
     def assignment(self) -> Dict[int, int]:
         """``{task: proc}`` for all scheduled tasks."""
         return {t: self._proc[t] for t in self._graph.tasks() if self._placed[t]}
+
+    def placement_order(self) -> Tuple[int, ...]:
+        """Task ids in the order the scheduler placed them.
+
+        Start times alone cannot recover this (simultaneous starts on
+        different processors are common); the warm-start rescheduler
+        (:mod:`repro.incremental`) replays a base schedule's decision
+        sequence, so the order is recorded explicitly.
+        """
+        return tuple(self._order)
+
+    def _placement_arrays(
+        self,
+    ) -> Tuple[
+        npt.NDArray[np.int64],
+        npt.NDArray[np.int64],
+        npt.NDArray[np.float64],
+        npt.NDArray[np.float64],
+    ]:
+        """``(order, proc, start, finish)`` as NumPy vectors (cached).
+
+        ``order`` is placement-order task ids; the other three are
+        task-indexed.  Read-only by contract — the warm-start path gathers
+        prefix placements from these without per-task Python loops.
+        """
+        cached = self._arrays_cache
+        if cached is None:
+            cached = (
+                np.asarray(self._order, dtype=np.int64),
+                np.asarray(self._proc, dtype=np.int64),
+                np.asarray(self._start, dtype=np.float64),
+                np.asarray(self._finish, dtype=np.float64),
+            )
+            self._arrays_cache = cached
+        return cached
 
     def __iter__(self) -> Iterator[ScheduledTask]:
         """Iterate placements in global start-time order."""

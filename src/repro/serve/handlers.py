@@ -25,7 +25,10 @@ Endpoints
     Schedule a graph: ``{"fingerprint": ..., "procs": N, ...}`` for a
     registered graph or ``{"graph": <document>, "procs": N, ...}`` inline.
     Optional: ``algo``, ``validate``, ``certify``, ``kernel``, ``tenant``,
-    ``tag``.
+    ``tag``, ``base_fingerprint``.  The last marks a delta request: the
+    FLB array path warm-starts from the named base schedule when it can
+    (bit-identical answer, ``warm`` accounting in the reply) and runs
+    cold when it cannot.
 
 Failure mapping
 ---------------

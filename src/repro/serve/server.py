@@ -323,6 +323,15 @@ class SchedulingService:
             if not isinstance(payload["kernel"], str):
                 raise BadRequestError("'kernel' must be a string")
             overrides["kernel"] = payload["kernel"]
+        base_fingerprint = payload.get("base_fingerprint")
+        if base_fingerprint is not None:
+            # Delta request: warm-start against the named base schedule.
+            # Purely an execution hint — the reply is bit-identical to a
+            # cold run, so the coalescing/cache key is unaffected and an
+            # unknown or unusable base silently runs cold.
+            if not isinstance(base_fingerprint, str):
+                raise BadRequestError("'base_fingerprint' must be a string")
+            overrides["warm_start"] = True
         tenant = payload.get("tenant", "default")
         if not isinstance(tenant, str) or not tenant:
             raise BadRequestError("'tenant' must be a non-empty string")
@@ -343,7 +352,8 @@ class SchedulingService:
             resolved_kernel,
         )
         job = BatchJob(
-            graph=None, procs=procs, algo=algo, tag=tag, graph_key=graph_key
+            graph=None, procs=procs, algo=algo, tag=tag, graph_key=graph_key,
+            base_fingerprint=base_fingerprint,
         )
         future: "asyncio.Future[BatchResult]" = (
             asyncio.get_running_loop().create_future()
@@ -426,6 +436,8 @@ def _result_payload(result: BatchResult, coalesced: bool) -> Dict[str, Any]:
     }
     if result.phases is not None:
         payload["phases"] = dict(result.phases)
+    if result.warm is not None:
+        payload["warm"] = dict(result.warm)
     if result.error is not None:
         payload["error"] = result.error
         payload["error_kind"] = result.error_kind

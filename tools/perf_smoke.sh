@@ -11,9 +11,12 @@ export PYTHONPATH=src
 # Equivalence + 2x-over-seed floor at smoke scale (REPRO_BENCH_TASKS=300),
 # plus the batch graph-plane floors: keyed dispatch >= inline throughput with
 # bit-identical summaries, and keyed+cache serving >= 2x the inline path,
-# plus the observability budget: metrics-enabled runs within 5% of disabled.
+# plus the observability budget: metrics-enabled runs within 5% of disabled,
+# plus the warm-start floor: incremental rescheduling of a 10^5-task graph
+# with <= 1% mutated >= 5x faster than cold, bit-identical and certified.
 python -m pytest -m perfgate -q benchmarks/bench_throughput.py tests/test_perf_gate.py \
-    tests/test_batch_graphplane.py tests/test_obs_overhead.py -p no:cacheprovider
+    tests/test_batch_graphplane.py tests/test_obs_overhead.py \
+    benchmarks/bench_incremental.py -p no:cacheprovider
 
 # Throughput gate at smoke scale against the stored full-scale baseline.
 # Smoke graphs are ~7x smaller than the baseline's, so per-task overheads
