@@ -1,0 +1,80 @@
+"""Pass one of the analyzer: project-wide facts the per-file rules need.
+
+A rule looking at ``opts.timeout = 3.0`` cannot know from that file alone
+that ``opts`` holds a frozen dataclass — the ``@dataclass(frozen=True)``
+decorator lives two packages away.  The :class:`ProjectIndex` is built
+once from every parsed file before any rule runs, so pass two can answer
+"is this class frozen?" by name across module boundaries.
+
+The index is deliberately name-based rather than import-resolving: the
+project has no duplicate class names across packages, and a name-level
+index keeps the analyzer dependency-free and fast (one AST walk per
+file).  A rule that needs more context should grow the index, not parse
+imports ad hoc.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+__all__ = ["ProjectIndex", "build_index"]
+
+
+@dataclass(frozen=True)
+class ProjectIndex:
+    """Cross-file facts, keyed by bare name.
+
+    ``frozen_dataclasses`` — every class declared ``@dataclass(frozen=True)``
+    anywhere in the analyzed tree (``SchedulingOptions``, ``ServeConfig``,
+    ``BatchJob``, ...); consumed by rule A201.
+
+    ``class_modules`` — defining module of each indexed class, for
+    diagnostics.
+    """
+
+    frozen_dataclasses: FrozenSet[str]
+    class_modules: Dict[str, str]
+
+    def is_frozen_dataclass(self, name: str) -> bool:
+        return name in self.frozen_dataclasses
+
+
+def _is_frozen_dataclass_decorator(node: ast.expr) -> bool:
+    """True for ``@dataclass(frozen=True)`` (bare or ``dataclasses.``-qualified).
+
+    Only a literal ``frozen=True`` counts: a computed flag is not a
+    statically-knowable frozen contract.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name != "dataclass":
+        return False
+    for kw in node.keywords:
+        if kw.arg == "frozen":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def build_index(files: Sequence[Tuple[str, ast.Module]]) -> ProjectIndex:
+    """Scan every ``(display_path, tree)`` pair into a :class:`ProjectIndex`."""
+    frozen: List[str] = []
+    class_modules: Dict[str, str] = {}
+    for display, tree in files:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            class_modules.setdefault(node.name, display)
+            if any(_is_frozen_dataclass_decorator(d) for d in node.decorator_list):
+                frozen.append(node.name)
+    return ProjectIndex(
+        frozen_dataclasses=frozenset(frozen),
+        class_modules=class_modules,
+    )

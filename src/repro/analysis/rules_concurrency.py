@@ -1,0 +1,238 @@
+"""A1xx — concurrency rules: event-loop blocking, fork sharing, shm lifecycle.
+
+These guard the serving plane's three concurrency regimes: the asyncio
+event loop (one blocked coroutine stalls every connection), ``fork()``-ed
+worker processes (a lock captured mid-acquire deadlocks the child — the
+PR 2 timeout bug's family), and POSIX shared memory (a segment without an
+unlink path leaks past process exit; CI's ``/dev/shm`` check catches it
+only after the fact).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.engine import (
+    ERROR,
+    AnalysisIssue,
+    FileContext,
+    dotted_name,
+    keyword_arg,
+    rule,
+)
+
+__all__: List[str] = []
+
+#: Exact dotted calls that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "select.select",
+    "socket.create_connection",
+}
+#: Any call into these modules blocks (process spawn + wait, etc.).
+_BLOCKING_PREFIXES = ("subprocess.",)
+#: Method names that block regardless of receiver: pipe/connection/socket
+#: reads and the multiprocessing join family.
+_BLOCKING_METHODS = {"recv", "recv_bytes", "join_thread"}
+#: Blocking builtins: synchronous file I/O and terminal reads.
+_BLOCKING_BUILTINS = {"open", "input"}
+
+#: threading primitives that must not be constructed at module scope in a
+#: forking module (the factory names, as importable from ``threading``).
+_THREADING_PRIMITIVES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+def _async_scope_calls(
+    ctx: FileContext, func: ast.AsyncFunctionDef
+) -> List[ast.Call]:
+    """Calls lexically inside ``func``'s own async body — nested ``def``s,
+    ``async def``s, and lambdas run in their own context and are skipped
+    (a sync helper handed to ``asyncio.to_thread`` is the *fix*, not a
+    finding)."""
+    calls: List[ast.Call] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return calls
+
+
+@rule("A101", ERROR, "blocking call inside an async function")
+def _check_async_blocking(ctx: FileContext) -> List[AnalysisIssue]:
+    issues: List[AnalysisIssue] = []
+    for node in ctx.walk():
+        if not isinstance(node, ast.AsyncFunctionDef):
+            continue
+        for call in _async_scope_calls(ctx, node):
+            name = dotted_name(call.func)
+            blocked: Optional[str] = None
+            if name is not None and name in _BLOCKING_CALLS:
+                blocked = name
+            elif name is not None and name.startswith(_BLOCKING_PREFIXES):
+                blocked = name
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _BLOCKING_METHODS
+            ):
+                blocked = f"<obj>.{call.func.attr}"
+            elif (
+                isinstance(call.func, ast.Name)
+                and call.func.id in _BLOCKING_BUILTINS
+            ):
+                blocked = call.func.id
+            if blocked is not None:
+                issues.append(
+                    ctx.issue(
+                        call,
+                        "A101",
+                        ERROR,
+                        f"blocking call {blocked}() inside async def "
+                        f"{node.name}; it stalls the event loop — await an "
+                        f"async equivalent or move it to asyncio.to_thread / "
+                        f"run_in_executor",
+                    )
+                )
+    return issues
+
+
+def _threading_imports(tree: ast.Module) -> Set[str]:
+    """Names bound by ``from threading import ...`` at any level."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "threading":
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _imports_multiprocessing(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import) and any(
+            a.name.split(".")[0] == "multiprocessing" for a in node.names
+        ):
+            return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "multiprocessing":
+                return True
+    return False
+
+
+def _is_module_scope(ctx: FileContext, node: ast.AST) -> bool:
+    """True when no function or class encloses ``node``."""
+    return not any(
+        isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda))
+        for a in ctx.ancestors(node)
+    )
+
+
+@rule("A102", ERROR, "module-level threading primitive in a forking module")
+def _check_fork_shared_lock(ctx: FileContext) -> List[AnalysisIssue]:
+    """A lock created at import time in a module that also drives
+    ``multiprocessing`` is inherited by every forked child in whatever
+    state a sibling thread left it — acquired by a thread that does not
+    exist in the child means deadlocked forever.  Locks belong on
+    instances created after the fork decision, or in the child itself."""
+    if not _imports_multiprocessing(ctx.tree):
+        return []
+    from_threading = _threading_imports(ctx.tree)
+    issues: List[AnalysisIssue] = []
+    for node in ctx.walk():
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        name = dotted_name(value.func)
+        primitive = None
+        if name is not None and name.startswith("threading."):
+            short = name.split(".", 1)[1]
+            if short in _THREADING_PRIMITIVES:
+                primitive = name
+        elif name in _THREADING_PRIMITIVES and name in from_threading:
+            primitive = f"threading.{name}"
+        if primitive is None or not _is_module_scope(ctx, node):
+            continue
+        issues.append(
+            ctx.issue(
+                node,
+                "A102",
+                ERROR,
+                f"module-level {primitive}() in a module that forks worker "
+                f"processes; the child inherits it in an arbitrary state "
+                f"(possibly held forever) — create it per instance after "
+                f"the fork, or key it to the owning process",
+            )
+        )
+    return issues
+
+
+def _has_finally_unlink(func: ast.AST) -> bool:
+    """True when some ``try``'s ``finally`` in ``func`` calls ``.unlink()``."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "unlink"
+                ):
+                    return True
+    return False
+
+
+def _has_finalizer(scope: Optional[ast.AST]) -> bool:
+    """True when ``scope`` registers a ``weakref.finalize`` (the class-level
+    unlink discipline :class:`repro.graphstore.GraphStore` uses) or an
+    ``atexit`` hook."""
+    if scope is None:
+        return False
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name in ("weakref.finalize", "finalize", "atexit.register"):
+            return True
+    return False
+
+
+@rule("A103", ERROR, "SharedMemory(create=True) without an unlink path")
+def _check_shm_lifecycle(ctx: FileContext) -> List[AnalysisIssue]:
+    """Every created segment needs a deterministic unlink: either a
+    ``try/finally`` in the creating function or a ``weakref.finalize`` /
+    ``atexit`` hook registered by the owning class or module — otherwise
+    the segment outlives the process in ``/dev/shm``."""
+    issues: List[AnalysisIssue] = []
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None or name.split(".")[-1] != "SharedMemory":
+            continue
+        create = keyword_arg(node, "create")
+        if not (isinstance(create, ast.Constant) and create.value is True):
+            continue
+        func = ctx.enclosing_function(node)
+        if func is not None and _has_finally_unlink(func):
+            continue
+        if _has_finalizer(ctx.enclosing_class(node)):
+            continue
+        if func is None and _has_finalizer(ctx.tree):
+            continue
+        issues.append(
+            ctx.issue(
+                node,
+                "A103",
+                ERROR,
+                "SharedMemory(create=True) with no matching unlink: add a "
+                "try/finally calling .unlink(), or register a "
+                "weakref.finalize/atexit finalizer on the owner",
+            )
+        )
+    return issues

@@ -1,0 +1,221 @@
+"""A2xx — frozenness rules: immutable things must stay immutable.
+
+The scheduling planes lean hard on freeze-then-share: frozen option
+dataclasses (``SchedulingOptions``, ``ServeConfig``) cross thread and
+process boundaries by reference, and a frozen :class:`~repro.graph.TaskGraph`
+memoizes derived quantities (``_prop_cache``) and its content hash
+(``_fingerprint``) on the assumption that nothing mutates after
+``freeze()``.  Each rule here guards one way that assumption silently
+breaks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Tuple
+
+from repro.analysis.engine import (
+    ERROR,
+    WARNING,
+    AnalysisIssue,
+    FileContext,
+    dotted_name,
+    rule,
+)
+
+__all__: List[str] = []
+
+#: TaskGraph attributes owned by the graph plane (see A202).
+_GRAPH_PRIVATE_ATTRS = {"_prop_cache", "_fingerprint"}
+
+#: TaskGraph methods that mutate the graph (see A203).
+_GRAPH_MUTATORS = {"add_task", "add_tasks", "add_edge", "set_name"}
+
+#: Module prefix allowed to touch the graph plane's private state.
+_GRAPH_PACKAGE = "repro.graph"
+
+
+def _function_scopes(ctx: FileContext) -> List[ast.AST]:
+    """Every analysis scope: the module plus each (async) function."""
+    scopes: List[ast.AST] = [ctx.tree]
+    for node in ctx.walk():
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node)
+    return scopes
+
+
+def _scope_nodes(scope: ast.AST) -> List[ast.AST]:
+    """Every AST node lexically in ``scope``'s own body — nested functions,
+    classes, and lambdas are boundaries (their bodies belong to *their*
+    scope, and get their own pass)."""
+    out: List[ast.AST] = []
+    body: List[ast.stmt] = (
+        scope.body
+        if isinstance(scope, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef))
+        else []
+    )
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _own_statements(scope: ast.AST) -> List[ast.stmt]:
+    """Statements belonging to ``scope`` itself, nested scopes excluded."""
+    return [n for n in _scope_nodes(scope) if isinstance(n, ast.stmt)]
+
+
+@rule("A201", ERROR, "attribute assignment to a frozen dataclass instance")
+def _check_frozen_mutation(ctx: FileContext) -> List[AnalysisIssue]:
+    """Two shapes: ``x = FrozenThing(...); x.field = v`` (raises
+    ``FrozenInstanceError`` at runtime, but only on the path that hits
+    it), and ``object.__setattr__(obj, ...)`` — the documented escape
+    hatch, legal only inside ``__post_init__`` of the frozen class
+    itself."""
+    frozen = ctx.index.frozen_dataclasses
+    issues: List[AnalysisIssue] = []
+    for scope in _function_scopes(ctx):
+        stmts = _own_statements(scope)
+        bound: Dict[str, str] = {}
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                ctor = stmt.value.func
+                cls = ctor.id if isinstance(ctor, ast.Name) else (
+                    ctor.attr if isinstance(ctor, ast.Attribute) else None
+                )
+                if cls in frozen:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            bound[target.id] = cls
+        if not bound:
+            continue
+        for stmt in stmts:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in bound
+                ):
+                    cls = bound[target.value.id]
+                    issues.append(
+                        ctx.issue(
+                            stmt,
+                            "A201",
+                            ERROR,
+                            f"assignment to {target.value.id}.{target.attr} "
+                            f"but {target.value.id} holds frozen dataclass "
+                            f"{cls}; build a new instance "
+                            f"(dataclasses.replace) instead",
+                        )
+                    )
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        if dotted_name(node.func) != "object.__setattr__":
+            continue
+        func = ctx.enclosing_function(node)
+        cls = ctx.enclosing_class(node)
+        if (
+            func is not None
+            and func.name == "__post_init__"
+            and cls is not None
+            and cls.name in frozen
+        ):
+            continue
+        issues.append(
+            ctx.issue(
+                node,
+                "A201",
+                ERROR,
+                "object.__setattr__ outside a frozen dataclass's "
+                "__post_init__: this bypasses the frozen contract the "
+                "sharing planes rely on",
+            )
+        )
+    return issues
+
+
+@rule("A202", ERROR, "graph-plane private state touched outside repro.graph")
+def _check_prop_cache_access(ctx: FileContext) -> List[AnalysisIssue]:
+    """``_prop_cache``/``_fingerprint`` are owned by :mod:`repro.graph`:
+    outside it, reads couple callers to the memo's private key scheme and
+    writes can poison every later consumer of the frozen graph.  Use the
+    public memo API (``TaskGraph.memo_get``/``memo_set``) instead."""
+    if ctx.module == _GRAPH_PACKAGE or ctx.module.startswith(_GRAPH_PACKAGE + "."):
+        return []
+    issues: List[AnalysisIssue] = []
+    for node in ctx.walk():
+        if not isinstance(node, ast.Attribute):
+            continue
+        if node.attr not in _GRAPH_PRIVATE_ATTRS:
+            continue
+        kind = "write to" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read of"
+        issues.append(
+            ctx.issue(
+                node,
+                "A202",
+                ERROR,
+                f"direct {kind} TaskGraph.{node.attr} outside repro.graph; "
+                f"use the public memo API (memo_get/memo_set) or a "
+                f"repro.graph.properties accessor",
+            )
+        )
+    return issues
+
+
+@rule("A203", WARNING, "TaskGraph mutated after freeze() in the same function")
+def _check_mutate_after_freeze(ctx: FileContext) -> List[AnalysisIssue]:
+    """``freeze()`` is a one-way door: a later ``add_task``/``add_edge``
+    on the same variable raises ``FrozenGraphError`` at runtime — but only
+    on the path that executes it.  Statement-ordered per function;
+    modules inside :mod:`repro.graph` are exempt (the graph plane owns
+    the freeze machinery itself)."""
+    if ctx.module == _GRAPH_PACKAGE or ctx.module.startswith(_GRAPH_PACKAGE + "."):
+        return []
+    issues: List[AnalysisIssue] = []
+    for scope in _function_scopes(ctx):
+        frozen_at: Dict[str, int] = {}
+        calls: List[Tuple[int, str, str, ast.Call]] = []
+        for node in _scope_nodes(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+            ):
+                continue
+            calls.append((node.lineno, func.value.id, func.attr, node))
+        for lineno, var, method, _node in calls:
+            if method == "freeze":
+                prev = frozen_at.get(var)
+                frozen_at[var] = lineno if prev is None else min(prev, lineno)
+        for lineno, var, method, node in calls:
+            frozen_line = frozen_at.get(var)
+            if (
+                method in _GRAPH_MUTATORS
+                and frozen_line is not None
+                and lineno > frozen_line
+            ):
+                issues.append(
+                    ctx.issue(
+                        node,
+                        "A203",
+                        WARNING,
+                        f"{var}.{method}() after {var}.freeze() on line "
+                        f"{frozen_line}: frozen graphs are immutable — "
+                        f"mutate a copy(mutable=True) instead",
+                    )
+                )
+    return issues

@@ -56,13 +56,13 @@ import os
 import time
 import traceback
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api import UNSET, SchedulingOptions, resolve_job_kernel, resolve_options
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.model import MachineModel
 from repro.obs.metrics import MetricsRegistry
-from repro.resultcache import DEFAULT_CACHE_SIZE, ResultCache
+from repro.resultcache import DEFAULT_CACHE_SIZE, CacheKey, ResultCache
 from repro.resultcache import make_key as make_cache_key
 from repro import graphstore, workerpool
 
@@ -334,7 +334,7 @@ def _run_job(
         )
 
 
-def _run_packed(packed) -> BatchResult:
+def _run_packed(packed: Tuple[BatchJob, bool, bool, bool, str, bool]) -> BatchResult:
     """Module-level runner for the worker pool (must be picklable)."""
     job, validate, certify, measure, kernel, warm_start = packed
     return _run_job(job, validate, certify, measure, kernel, warm_start)
@@ -348,7 +348,7 @@ def _cache_key(
     store: Optional["graphstore.GraphStore"],
     kernels: Dict[str, str],
     kernel: str = "auto",
-):
+) -> Optional[CacheKey]:
     """Result-cache key for a job, or ``None`` when the job is uncacheable.
 
     Jobs with a custom machine have no content fingerprint for the machine
@@ -522,7 +522,7 @@ def schedule_many(
     results: List[Optional[BatchResult]] = [None] * len(jobs)
     fingerprints: Dict[int, str] = {}
     resolved_kernels: Dict[str, str] = {}  # algo -> resolved backend (memo)
-    keys: List[Optional[tuple]] = [None] * len(jobs)
+    keys: List[Optional[CacheKey]] = [None] * len(jobs)
     use_cache = cache is not None and cache.enabled
 
     # Result-cache pass (exact hits answer without dispatching anything),
@@ -534,7 +534,7 @@ def schedule_many(
     # without one, every job dispatches individually as before, keeping
     # per-job timing/queue accounting intact.
     dispatch: List[int] = []
-    coalesced: Dict[tuple, List[int]] = {}
+    coalesced: Dict[CacheKey, List[int]] = {}
     for i, job in enumerate(jobs):
         keys[i] = _cache_key(
             job, validate, certify, fingerprints, store,
@@ -1061,7 +1061,7 @@ class BatchScheduler:
     def __enter__(self) -> "BatchScheduler":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

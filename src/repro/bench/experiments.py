@@ -71,7 +71,7 @@ class ExperimentReport:
     experiment: str
     title: str
     text: str
-    data: Dict = field(default_factory=dict)
+    data: Dict[str, object] = field(default_factory=dict)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return f"== {self.experiment}: {self.title} ==\n{self.text}"
@@ -128,10 +128,10 @@ def run_fig2(
         records, key=lambda r: (r.algorithm, r.procs), value=lambda r: r.seconds * 1e3
     )
     rows = [
-        [algo] + [mean_ms[(algo, p)] for p in procs] for algo in algorithms
+        [algo, *(mean_ms[(algo, p)] for p in procs)] for algo in algorithms
     ]
     table = format_table(
-        ["algorithm"] + [f"P={p} [ms]" for p in procs],
+        ["algorithm", *(f"P={p} [ms]" for p in procs)],
         rows,
         title=f"Fig. 2 — mean scheduling time, V~{instances[0].graph.num_tasks}, "
         f"{len(instances)} instances",
@@ -156,7 +156,7 @@ def run_fig2(
 def run_fig3(
     target_tasks: int = 2000,
     seeds: int = 5,
-    procs: Sequence[int] = (1,) + tuple(PAPER_PROCS),
+    procs: Sequence[int] = (1, *PAPER_PROCS),
     problems: Sequence[str] = PAPER_PROBLEMS,
     ccrs: Sequence[float] = PAPER_CCRS,
     workers: int = 1,
@@ -174,9 +174,9 @@ def run_fig3(
             prob: [mean_speedup[(prob, ccr, p)] for p in procs] for prob in problems
         }
         data[ccr] = series
-        rows = [[prob] + series[prob] for prob in problems]
+        rows = [[prob, *series[prob]] for prob in problems]
         table = format_table(
-            ["problem"] + [f"P={p}" for p in procs],
+            ["problem", *(f"P={p}" for p in procs)],
             rows,
             title=f"Fig. 3 — FLB speedup, CCR = {ccr:g}",
         )
@@ -212,16 +212,16 @@ def run_fig4(
     instance at the same processor count, then averaged over seeds.
     """
     if "mcp" not in algorithms:
-        algorithms = tuple(algorithms) + ("mcp",)
+        algorithms = (*algorithms, "mcp")
     instances = paper_suite(target_tasks, ccrs=ccrs, seeds=seeds, problems=problems)
     records = run_sweep(instances, algorithms, procs, workers=workers)
-    by_key: Dict[Tuple, Dict[str, float]] = {}
+    by_key: Dict[Tuple[str, float, int, int], Dict[str, float]] = {}
     for rec in records:
         by_key.setdefault(
             (rec.problem, rec.ccr, rec.seed_index, rec.procs), {}
         )[rec.algorithm] = rec.makespan
-    nsl_sum: Dict[Tuple, float] = {}
-    nsl_count: Dict[Tuple, int] = {}
+    nsl_sum: Dict[Tuple[str, float, str, int], float] = {}
+    nsl_count: Dict[Tuple[str, float, str, int], int] = {}
     for (problem, ccr, _seed, p), spans in by_key.items():
         ref = spans["mcp"]
         for algo, span in spans.items():
@@ -231,7 +231,7 @@ def run_fig4(
     nsl = {k: nsl_sum[k] / nsl_count[k] for k in nsl_sum}
 
     sections: List[str] = []
-    data: Dict = {}
+    data: Dict[str, object] = {}
     for problem in problems:
         for ccr in ccrs:
             series = {
@@ -239,10 +239,10 @@ def run_fig4(
                 for algo in algorithms
             }
             data[(problem, ccr)] = series
-            rows = [[algo] + series[algo] for algo in algorithms]
+            rows = [[algo, *series[algo]] for algo in algorithms]
             sections.append(
                 format_table(
-                    ["algorithm"] + [f"P={p}" for p in procs],
+                    ["algorithm", *(f"P={p}" for p in procs)],
                     rows,
                     title=f"Fig. 4 — mean NSL (vs MCP), {problem}, CCR = {ccr:g}",
                 )
@@ -313,7 +313,7 @@ def run_ablation_ties(
     ~12%, usually in FLB's favour)."""
     instances = paper_suite(target_tasks, seeds=seeds, problems=problems)
     records = run_sweep(instances, ["flb", "etf"], procs)
-    spans: Dict[Tuple, Dict[str, float]] = {}
+    spans: Dict[Tuple[str, float, int, int], Dict[str, float]] = {}
     for rec in records:
         spans.setdefault((rec.problem, rec.ccr, rec.seed_index, rec.procs), {})[
             rec.algorithm
@@ -461,9 +461,9 @@ def run_contention(
                 ratio = contended / free_span
                 data[algo][bw].append(ratio)
                 rel.append(ratio)
-            rows.append([inst.label, algo] + rel)
+            rows.append([inst.label, algo, *rel])
     table = format_table(
-        ["instance", "algorithm"] + [f"bw={bw:g}" for bw in bandwidths],
+        ["instance", "algorithm", *(f"bw={bw:g}" for bw in bandwidths)],
         rows,
         title=f"X5 — contended / contention-free makespan, P={procs}",
     )
@@ -472,10 +472,10 @@ def run_contention(
         for algo, per_bw in data.items()
     }
     summary_rows = [
-        [algo] + [means[algo][bw] for bw in bandwidths] for algo in algorithms
+        [algo, *(means[algo][bw] for bw in bandwidths)] for algo in algorithms
     ]
     summary = format_table(
-        ["algorithm (mean)"] + [f"bw={bw:g}" for bw in bandwidths], summary_rows
+        ["algorithm (mean)", *(f"bw={bw:g}" for bw in bandwidths)], summary_rows
     )
     return ExperimentReport(
         experiment="contention",
@@ -582,11 +582,11 @@ def run_heterogeneity(
             for algo in algorithms:
                 data[algo][skew].append(spans[algo] / ref)
     rows = [
-        [algo] + [float(np.mean(data[algo][skew])) for skew in skews]
+        [algo, *(float(np.mean(data[algo][skew])) for skew in skews)]
         for algo in algorithms
     ]
     table = format_table(
-        ["algorithm (vs HEFT)"] + [f"skew={s:g}" for s in skews],
+        ["algorithm (vs HEFT)", *(f"skew={s:g}" for s in skews)],
         rows,
         title=f"X7 — mean makespan relative to HEFT, P={procs}",
     )
@@ -622,7 +622,7 @@ def run_extended_sweep(
     from repro.workloads import cholesky, cholesky_size_for_tasks, wavefront, wavefront_size_for_tasks
 
     if "mcp" not in algorithms:
-        algorithms = tuple(algorithms) + ("mcp",)
+        algorithms = (*algorithms, "mcp")
     instances = list(
         paper_suite(target_tasks, ccrs=ccrs, seeds=seeds, problems=("lu", "stencil"))
     )
@@ -643,7 +643,7 @@ def run_extended_sweep(
                 i += 1
 
     records = run_sweep(instances, algorithms, procs)
-    spans: Dict[Tuple, Dict[str, float]] = {}
+    spans: Dict[Tuple[str, float, int, int], Dict[str, float]] = {}
     for rec in records:
         spans.setdefault((rec.problem, rec.ccr, rec.seed_index, rec.procs), {})[
             rec.algorithm
@@ -658,9 +658,9 @@ def run_extended_sweep(
             sums[key] = sums.get(key, 0.0) + span / ref
             counts[key] = counts.get(key, 0) + 1
     nsl = {k: sums[k] / counts[k] for k in sums}
-    rows = [[algo] + [nsl[(algo, c)] for c in ccrs] for algo in algorithms]
+    rows = [[algo, *(nsl[(algo, c)] for c in ccrs)] for algo in algorithms]
     table = format_table(
-        ["algorithm"] + [f"CCR={c:g}" for c in ccrs],
+        ["algorithm", *(f"CCR={c:g}" for c in ccrs)],
         rows,
         title=(
             f"X8 — mean NSL (vs MCP) pooled over lu/stencil/wavefront/cholesky, "
@@ -693,7 +693,7 @@ def run_all(
     reports = [
         run_table1(),
         run_fig2(target_tasks, seeds=seeds, procs=procs, time_repeats=1 if quick else 3),
-        run_fig3(target_tasks, seeds=seeds, procs=(1,) + tuple(procs)),
+        run_fig3(target_tasks, seeds=seeds, procs=(1, *procs)),
         run_fig4(target_tasks, seeds=seeds, procs=procs),
         run_scaling(sizes=(250, 500, 1000) if quick else (250, 500, 1000, 2000, 4000)),
         run_ablation_ties(target_tasks, seeds=seeds, procs=procs[:2]),

@@ -32,6 +32,9 @@ from typing import Dict, Optional, Sequence
 
 from repro.bench.suite import paper_suite
 from repro.core.flb import flb
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.model import MachineModel
+from repro.schedule.schedule import Schedule
 
 __all__ = [
     "DEFAULT_BASELINE_PATH",
@@ -48,7 +51,11 @@ DEFAULT_BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_sched.json"
 DEFAULT_TOLERANCE = 0.20
 
 
-def seed_flb(graph, num_procs=None, machine=None):
+def seed_flb(
+    graph: TaskGraph,
+    num_procs: Optional[int] = None,
+    machine: Optional[MachineModel] = None,
+) -> Schedule:
     """The pre-fast-path FLB implementation (the seed's algorithm).
 
     ``_flb_observed`` with ``observer=None`` is the original dict-and-
@@ -69,7 +76,7 @@ def measure_throughput(
     repeats: int = 3,
     include_seed: bool = True,
     kernel: str = "auto",
-) -> Dict:
+) -> Dict[str, object]:
     """Measure FLB scheduling throughput on the Fig. 2 suite.
 
     Throughput is total tasks placed over total median scheduling seconds,
@@ -91,7 +98,11 @@ def measure_throughput(
     if resolved == "object":
         fast = flb
     else:
-        def fast(graph, num_procs=None, machine=None):
+        def fast(
+            graph: TaskGraph,
+            num_procs: Optional[int] = None,
+            machine: Optional[MachineModel] = None,
+        ) -> Schedule:
             return flb_array(graph, num_procs, machine=machine, backend=resolved)
 
     instances = paper_suite(target_tasks, seeds=seeds, problems=problems)
@@ -106,7 +117,7 @@ def measure_throughput(
                 seed_seconds += time_scheduler(
                     seed_flb, inst.graph, p, repeats=repeats
                 )
-    result: Dict = {
+    result: Dict[str, object] = {
         "tasks_per_s": round(total_tasks / fast_seconds, 1),
         "total_tasks": total_tasks,
         "kernel": resolved,
@@ -130,18 +141,18 @@ class GateResult:
 
     ok: bool
     message: str
-    current: Dict
-    baseline: Optional[Dict]
+    current: Dict[str, object]
+    baseline: Optional[Dict[str, object]]
     threshold: Optional[float]  # tasks/s floor the measurement had to clear
 
 
 def run_gate(
-    current: Optional[Dict] = None,
+    current: Optional[Dict[str, object]] = None,
     baseline_path: Path = DEFAULT_BASELINE_PATH,
     tolerance: float = DEFAULT_TOLERANCE,
     update_baseline: bool = False,
     write: bool = True,
-    **measure_kwargs,
+    **measure_kwargs: object,
 ) -> GateResult:
     """Compare throughput (measured now, or injected via ``current``) against
     the stored baseline.

@@ -139,12 +139,12 @@ def run_sweep(
 
 def group_mean(
     records: Iterable[RunRecord],
-    key: Callable[[RunRecord], Tuple],
+    key: Callable[[RunRecord], Tuple[object, ...]],
     value: Callable[[RunRecord], float],
-) -> Dict[Tuple, float]:
+) -> Dict[Tuple[object, ...], float]:
     """Group records by ``key`` and average ``value`` within each group."""
-    sums: Dict[Tuple, float] = {}
-    counts: Dict[Tuple, int] = {}
+    sums: Dict[Tuple[object, ...], float] = {}
+    counts: Dict[Tuple[object, ...], int] = {}
     for rec in records:
         k = key(rec)
         sums[k] = sums.get(k, 0.0) + value(rec)

@@ -16,7 +16,10 @@ for the paper-sized runs recorded in EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+if TYPE_CHECKING:
+    import numpy as np
 
 from repro.graph.taskgraph import TaskGraph
 from repro.util.rng import spawn_rngs
@@ -58,7 +61,8 @@ class Instance:
 
 
 def _build_problem(
-    problem: str, target_tasks: int, rng, ccr: float, distribution: str
+    problem: str, target_tasks: int, rng: "np.random.Generator", ccr: float,
+    distribution: str,
 ) -> TaskGraph:
     if problem == "lu":
         return lu(lu_size_for_tasks(target_tasks), rng, ccr=ccr, distribution=distribution)

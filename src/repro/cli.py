@@ -33,7 +33,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 from repro.bench import (
     run_ablation_llb,
@@ -51,9 +54,9 @@ from repro.bench import (
     run_table1,
 )
 from repro.core import TraceRecorder, flb, format_trace
-from repro.graph import load_json, save_json, width
+from repro.graph import TaskGraph, load_json, save_json, width
 from repro.metrics import summarize, time_scheduler
-from repro.schedule import render_gantt
+from repro.schedule import Schedule, render_gantt
 from repro.schedulers import SCHEDULERS
 from repro.util.rng import make_rng
 from repro.util.tables import format_table
@@ -96,7 +99,7 @@ _EXPERIMENTS = {
 }
 
 
-def _build_problem(problem: str, tasks: int, ccr: float, seed: int):
+def _build_problem(problem: str, tasks: int, ccr: float, seed: int) -> TaskGraph:
     rng = make_rng(seed)
     if problem == "lu":
         return lu(lu_size_for_tasks(tasks), rng, ccr=ccr)
@@ -117,7 +120,7 @@ def _build_problem(problem: str, tasks: int, ccr: float, seed: int):
     raise SystemExit(f"unknown problem {problem!r}")
 
 
-def _resolve_graph(args):
+def _resolve_graph(args: argparse.Namespace) -> TaskGraph:
     if getattr(args, "graph", None):
         return load_json(args.graph)
     return _build_problem(args.problem, args.tasks, args.ccr, args.seed)
@@ -135,7 +138,9 @@ def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _run_algorithm(algo: str, kernel: str, graph, procs: int):
+def _run_algorithm(
+    algo: str, kernel: str, graph: TaskGraph, procs: int
+) -> Tuple[Schedule, str]:
     """Run ``algo`` honouring ``--kernel``; returns (schedule, backend)."""
     if algo == "flb":
         from repro.core.flb_array import (
@@ -216,8 +221,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--graph", help="JSON graph (default: the paper's Fig. 1 example)")
     p_trace.add_argument("--procs", type=int, default=2)
 
-    p_an = sub.add_parser("analyze", help="print task-graph properties")
+    p_an = sub.add_parser(
+        "analyze",
+        help="print task-graph properties, or — given source paths — run "
+        "the project's A-rule static analyzer",
+    )
+    p_an.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="Python files/directories to statically analyze (rule codes "
+        "A101..); with no paths, prints task-graph properties instead",
+    )
     _add_workload_args(p_an)
+    p_an.add_argument("--json", action="store_true", dest="json_out",
+                      help="emit the analysis report as JSON (source mode)")
+    p_an.add_argument("--strict", action="store_true",
+                      help="treat warnings and stale baseline entries as "
+                      "failures (source mode)")
+    p_an.add_argument("--baseline", metavar="FILE", default=None,
+                      help="suppression baseline (default: "
+                      "tools/analysis-baseline.json when present)")
+    p_an.add_argument("--write-baseline", metavar="FILE", default=None,
+                      help="snapshot the current findings as a baseline "
+                      "file and exit 0")
 
     p_lint = sub.add_parser(
         "lint", help="statically analyse a task graph before scheduling"
@@ -254,7 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate the paper's tables and figures")
     p_exp.add_argument(
-        "which", choices=sorted(_EXPERIMENTS) + ["all"], help="experiment id"
+        "which", choices=[*sorted(_EXPERIMENTS), "all"], help="experiment id"
     )
     p_exp.add_argument("--tasks", type=int, default=400)
     p_exp.add_argument("--seeds", type=int, default=2)
@@ -361,7 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_generate(args) -> int:
+def _cmd_generate(args: argparse.Namespace) -> int:
     graph = _build_problem(args.problem, args.tasks, args.ccr, args.seed)
     save_json(graph, args.output)
     print(
@@ -371,7 +396,7 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_schedule(args) -> int:
+def _cmd_schedule(args: argparse.Namespace) -> int:
     graph = _resolve_graph(args)
     schedule, backend = _run_algorithm(args.algo, args.kernel, graph, args.procs)
     schedule.validate()
@@ -391,7 +416,7 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
-def _cmd_compare(args) -> int:
+def _cmd_compare(args: argparse.Namespace) -> int:
     graph = _resolve_graph(args)
     mcp_span = SCHEDULERS["mcp"](graph, args.procs).makespan
     rows = []
@@ -411,7 +436,7 @@ def _cmd_compare(args) -> int:
     return 0
 
 
-def _cmd_trace(args) -> int:
+def _cmd_trace(args: argparse.Namespace) -> int:
     if args.graph:
         graph = load_json(args.graph)
     else:
@@ -425,7 +450,7 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_experiment(args) -> int:
+def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.which == "all":
         reports = run_all(args.tasks, seeds=args.seeds)
     else:
@@ -444,7 +469,55 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def _cmd_analyze(args) -> int:
+def _cmd_analyze_source(args: argparse.Namespace) -> int:
+    """Source static analysis (rule codes A101..; docs/static-analysis.md).
+
+    Exit codes: 0 = clean (modulo --strict), 1 = findings or a stale
+    baseline under --strict, 2 = unreadable path or malformed baseline.
+    """
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis import (
+        DEFAULT_BASELINE_PATH,
+        analyze_paths,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+
+    try:
+        report = analyze_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"cannot analyze: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        entries = write_baseline(report, args.write_baseline)
+        print(
+            f"wrote {len(entries)} baseline entr"
+            f"{'y' if len(entries) == 1 else 'ies'} to {args.write_baseline}"
+            f" (now justify each reason)"
+        )
+        return 0
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE_PATH).is_file():
+        baseline_path = DEFAULT_BASELINE_PATH
+    if baseline_path is not None:
+        try:
+            report = apply_baseline(report, load_baseline(baseline_path))
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+    if args.json_out:
+        print(_json.dumps(report.to_dict(strict=args.strict), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok(strict=args.strict) else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.paths:
+        return _cmd_analyze_source(args)
     from repro.graph import (
         bottom_levels,
         ccr,
@@ -468,7 +541,7 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _obs_registry(args):
+def _obs_registry(args: argparse.Namespace) -> Optional["MetricsRegistry"]:
     """A registry when any observability output was requested, else None."""
     if getattr(args, "metrics_out", None) or getattr(args, "trace_out", None):
         from repro.obs import MetricsRegistry
@@ -477,7 +550,7 @@ def _obs_registry(args):
     return None
 
 
-def _write_obs(reg, args) -> None:
+def _write_obs(reg: Optional["MetricsRegistry"], args: argparse.Namespace) -> None:
     """Flush a registry to the requested --metrics-out / --trace-out files."""
     if reg is None:
         return
@@ -489,7 +562,7 @@ def _write_obs(reg, args) -> None:
         print(f"(trace written to {args.trace_out})", file=sys.stderr)
 
 
-def _cmd_lint(args) -> int:
+def _cmd_lint(args: argparse.Namespace) -> int:
     """Exit codes: 0 = clean (modulo --strict), 1 = findings, 2 = unreadable."""
     import json as _json
     import time as _time
@@ -514,7 +587,7 @@ def _cmd_lint(args) -> int:
     else:
         report = lint(_build_problem(args.problem, args.tasks, args.ccr, args.seed))
     elapsed = _time.perf_counter() - t0
-    codes: dict = {}
+    codes: Dict[str, int] = {}
     for code in report.codes():
         codes[code] = codes.get(code, 0) + 1
     if reg is not None:
@@ -535,7 +608,7 @@ def _cmd_lint(args) -> int:
     return 0 if report.ok(strict=args.strict) else 1
 
 
-def _cmd_certify(args) -> int:
+def _cmd_certify(args: argparse.Namespace) -> int:
     """Exit codes: 0 = certificate valid, 1 = violations found."""
     import json as _json
     import time as _time
@@ -549,7 +622,7 @@ def _cmd_certify(args) -> int:
     t0 = _time.perf_counter()
     cert = certify(schedule, flavor=greedy_flavor(args.algo))
     elapsed = _time.perf_counter() - t0
-    codes: dict = {}
+    codes: Dict[str, int] = {}
     for code in cert.codes():
         codes[code] = codes.get(code, 0) + 1
     if reg is not None:
@@ -579,7 +652,7 @@ def _cmd_certify(args) -> int:
     return 0 if cert.ok else 1
 
 
-def _cmd_execute(args) -> int:
+def _cmd_execute(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.sim import execute, execute_contended, execute_perturbed
@@ -611,7 +684,7 @@ def _cmd_execute(args) -> int:
     return 0
 
 
-def _cmd_batch(args) -> int:
+def _cmd_batch(args: argparse.Namespace) -> int:
     """Exit codes: 0 = every job ok; 1 = at least one job failed
     (scheduler-error / invalid-schedule); 2 = at least one infrastructure
     failure (timeout / worker-died), which takes precedence over 1."""
@@ -714,7 +787,7 @@ def _cmd_batch(args) -> int:
     return 1 if failures else 0
 
 
-def _cmd_serve(args) -> int:
+def _cmd_serve(args: argparse.Namespace) -> int:
     """Exit codes: 0 = clean drain after SIGTERM/SIGINT, 2 = bad flags."""
     from repro.api import SchedulingOptions
     from repro.serve import ServeConfig, serve
@@ -751,7 +824,7 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     """Exit codes: 0 = trace summarised, 2 = unreadable/invalid trace."""
     import json as _json
 

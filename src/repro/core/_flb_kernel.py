@@ -86,7 +86,7 @@ def flb_kernel(
     # Lexicographic (k1, k2, k3) "<" — what heapq applies to the reference
     # kernel's (LMT/EMT, -BL, id) tuples.
 
-    def lt3(a1, a2, a3, b1, b2, b3):
+    def lt3(a1: float, a2: float, a3: float, b1: float, b2: float, b3: float) -> bool:
         if a1 < b1:
             return True
         if a1 > b1:
@@ -97,7 +97,10 @@ def flb_kernel(
             return False
         return a3 < b3
 
-    def push3(k1, k2, k3, size, a, b, c):
+    def push3(
+        k1: np.ndarray, k2: np.ndarray, k3: np.ndarray, size: int,
+        a: float, b: float, c: float,
+    ) -> int:
         i = size
         k1[i] = a
         k2[i] = b
@@ -113,7 +116,7 @@ def flb_kernel(
                 break
         return size + 1
 
-    def pop3(k1, k2, k3, size):
+    def pop3(k1: np.ndarray, k2: np.ndarray, k3: np.ndarray, size: int) -> int:
         last = size - 1
         k1[0] = k1[last]
         k2[0] = k2[last]
@@ -138,7 +141,7 @@ def flb_kernel(
                 break
         return last
 
-    def push2(k, pr, size, a, p):
+    def push2(k: np.ndarray, pr: np.ndarray, size: int, a: float, p: int) -> int:
         i = size
         k[i] = a
         pr[i] = p
@@ -152,7 +155,7 @@ def flb_kernel(
                 break
         return size + 1
 
-    def pop2(k, pr, size):
+    def pop2(k: np.ndarray, pr: np.ndarray, size: int) -> int:
         last = size - 1
         k[0] = k[last]
         pr[0] = pr[last]
@@ -224,7 +227,10 @@ def flb_kernel(
     ep_choices = 0
     non_ep_choices = 0
 
-    def refresh_active(p, act_size, row_k1, row_k2, row_id):
+    def refresh_active(
+        p: int, act_size: int,
+        row_k1: np.ndarray, row_k2: np.ndarray, row_id: np.ndarray,
+    ) -> int:
         # Re-derive p's entry in the active list from the head of its EMT
         # list and its PRT (the paper's UpdateProcLists).
         sz = emt_sizes[p]

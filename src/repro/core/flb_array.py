@@ -311,16 +311,15 @@ def _kernel_inputs(
     latency/scale), so serving many schedules of one graph — the batch
     plane's common shape — pays the ``O(V + E)`` setup once.
     """
-    cache = graph._prop_cache
-    neg_bl = cache.get("neg_bl_arr")
+    neg_bl = graph.memo_get("neg_bl_arr")
     if neg_bl is None:
         neg_bl = -bottom_levels_array(graph)
-        cache["neg_bl_arr"] = neg_bl
+        graph.memo_set("neg_bl_arr", neg_bl)
     delay_key = ("pred_delay", machine.latency, machine.comm_scale)
-    pred_delay = cache.get(delay_key)
+    pred_delay = graph.memo_get(delay_key)
     if pred_delay is None:
         pred_delay = machine.latency + machine.comm_scale * graph.csr().pred_comm
-        cache[delay_key] = pred_delay
+        graph.memo_set(delay_key, pred_delay)
     comp = graph.comps_array()
     homogeneous = machine.speeds is None
     speeds = (
@@ -413,16 +412,15 @@ def _interp_inputs(
     neg_bl_arr, pred_delay_arr, _comp, homogeneous, speeds_arr = _kernel_inputs(
         graph, machine
     )
-    cache = graph._prop_cache
     delay_key = ("pred_delay_list", machine.latency, machine.comm_scale)
-    pred_delay: List[float] = cache.get(delay_key)  # type: ignore[assignment]
+    pred_delay: List[float] = graph.memo_get(delay_key)
     if pred_delay is None:
         pred_delay = pred_delay_arr.tolist()
-        cache[delay_key] = pred_delay
-    neg_bl: List[float] = cache.get("neg_bl_list")  # type: ignore[assignment]
+        graph.memo_set(delay_key, pred_delay)
+    neg_bl: List[float] = graph.memo_get("neg_bl_list")
     if neg_bl is None:
         neg_bl = neg_bl_arr.tolist()
-        cache["neg_bl_list"] = neg_bl
+        graph.memo_set("neg_bl_list", neg_bl)
     return pred_delay, neg_bl, homogeneous, speeds_arr.tolist()
 
 

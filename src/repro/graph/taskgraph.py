@@ -21,7 +21,17 @@ import hashlib
 import struct
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 import numpy.typing as npt
@@ -420,6 +430,30 @@ class TaskGraph:
         if self._frozen:
             self._fingerprint = digest
         return digest
+
+    def memo_get(self, key: object) -> Any:
+        """Read a graph-pure memo slot (``None`` when absent).
+
+        The public face of the property cache for code outside
+        :mod:`repro.graph`: derived quantities that depend only on the
+        (frozen, hence immutable) graph — bottom-level vectors,
+        machine-keyed edge delays, subgraph digests — memoized under any
+        hashable key.  Frozen graphs only: a mutable graph could
+        invalidate the memo after the fact.
+        """
+        self._check_frozen()
+        return self._prop_cache.get(key)
+
+    def memo_set(self, key: object, value: object) -> None:
+        """Store a graph-pure derived quantity under ``key``.
+
+        The value must be a pure function of the frozen graph (plus
+        whatever parameters are folded into ``key``) — the memo is shared
+        by every consumer of this graph instance and copied by
+        :meth:`copy`.  Frozen graphs only.
+        """
+        self._check_frozen()
+        self._prop_cache[key] = value
 
     def total_comp(self) -> float:
         """Sum of all computation costs (sequential execution time)."""

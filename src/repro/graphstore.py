@@ -125,7 +125,7 @@ def encode_graph(graph: TaskGraph) -> bytes:
     return b"".join(parts)
 
 
-def decode_graph(buf) -> TaskGraph:
+def decode_graph(buf: "bytes | memoryview") -> TaskGraph:
     """Rebuild a frozen :class:`TaskGraph` from :func:`encode_graph` bytes.
 
     ``buf`` may be any buffer (``bytes``, ``memoryview`` over shared
@@ -142,7 +142,7 @@ def decode_graph(buf) -> TaskGraph:
         if version != _VERSION:
             raise GraphStoreError(f"unsupported graph segment version {version}")
 
-        def take(dtype: type, count: int, offset: int) -> Tuple[np.ndarray, int]:
+        def take(dtype: "type[np.generic]", count: int, offset: int) -> Tuple[np.ndarray, int]:
             nbytes = count * np.dtype(dtype).itemsize
             if offset + nbytes > len(mv):
                 raise GraphStoreError("truncated graph segment")
@@ -300,7 +300,7 @@ class GraphStore:
     def __enter__(self) -> "GraphStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

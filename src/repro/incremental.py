@@ -144,7 +144,7 @@ def _seed_hashes(new: TaskGraph, base: TaskGraph, dirty: BoolArray) -> None:
     """Fill ``new``'s digest cache: copy base digests outside ``dirty``
     (their upward closures are bitwise identical, so the digests provably
     match a full sweep), re-hash the dirty tasks in topological order."""
-    if new._prop_cache.get("subh") is not None:
+    if new.memo_get("subh") is not None:
         return
     vn = new.num_tasks
     vc = min(base.num_tasks, vn)
@@ -153,7 +153,7 @@ def _seed_hashes(new: TaskGraph, base: TaskGraph, dirty: BoolArray) -> None:
     topo = np.asarray(new.topological_order, dtype=np.int64)
     dirty_topo = topo[dirty[topo]]
     _fill_subgraph_hashes(new, digests, dirty_topo.tolist())
-    new._prop_cache["subh"] = digests
+    new.memo_set("subh", digests)
 
 
 def incremental_subgraph_hashes(new: TaskGraph, base: TaskGraph) -> BoolArray:

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
+from repro.graph.taskgraph import TaskGraph
 from repro.schedule.schedule import Schedule
 
 __all__ = [
@@ -155,10 +156,10 @@ def summarize(schedule: Schedule) -> Dict[str, float]:
 
 def time_scheduler(
     scheduler: Callable[..., Schedule],
-    graph,
+    graph: TaskGraph,
     num_procs: int,
     repeats: int = 3,
-    **kwargs,
+    **kwargs: object,
 ) -> float:
     """Median wall-clock running time of ``scheduler`` in seconds (Fig. 2).
 

@@ -100,7 +100,7 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._data)
 
-    def get(self, key: Optional[Hashable]):
+    def get(self, key: Optional[Hashable]) -> Optional[object]:
         """Look up a key; counts a hit or a miss.  ``None`` keys (uncacheable
         jobs) and a disabled cache return ``None`` without counting."""
         if key is None or not self._capacity:
@@ -113,7 +113,7 @@ class ResultCache:
         self.hits += 1
         return value
 
-    def put(self, key: Optional[Hashable], value) -> None:
+    def put(self, key: Optional[Hashable], value: object) -> None:
         """Insert/refresh a key, evicting the least recently used entry
         beyond capacity."""
         if key is None or not self._capacity:

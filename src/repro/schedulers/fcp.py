@@ -26,7 +26,7 @@ processor queue uses lazy invalidation keyed on the strictly increasing
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.graph.properties import bottom_levels
 from repro.graph.taskgraph import TaskGraph
@@ -53,7 +53,7 @@ def fcp(
     succ_ptr, succ_ids = csr.succ_ptr, csr.succ_ids
     lat, scale = machine.latency, machine.comm_scale
 
-    ready: list = [(-bl[t], t) for t in graph.entry_tasks]
+    ready: List[Tuple[float, int]] = [(-bl[t], t) for t in graph.entry_tasks]
     heapify(ready)
     # Processors by (PRT, id); an entry is current iff its key equals the
     # processor's PRT, which strictly increases — stale entries sink out.

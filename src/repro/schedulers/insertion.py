@@ -20,7 +20,7 @@ incrementally from ``PRT`` and would need different bookkeeping.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.graph.properties import static_levels
 from repro.graph.taskgraph import TaskGraph
@@ -49,7 +49,9 @@ def best_insertion_slot(schedule: Schedule, task: int) -> Tuple[int, float]:
     return best_proc, best_start
 
 
-def _run_static_order(graph: TaskGraph, machine: MachineModel, order) -> Schedule:
+def _run_static_order(
+    graph: TaskGraph, machine: MachineModel, order: Sequence[int]
+) -> Schedule:
     schedule = Schedule(graph, machine)
     for task in order:
         proc, start = best_insertion_slot(schedule, task)

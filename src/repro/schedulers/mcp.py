@@ -28,7 +28,7 @@ DESIGN.md §4.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -42,7 +42,9 @@ from repro.schedulers.base import best_proc_for, resolve_machine
 __all__ = ["mcp", "mcp_priority_order"]
 
 
-def _descendant_alap_lists(graph: TaskGraph, alap: List[float]) -> List[tuple]:
+def _descendant_alap_lists(
+    graph: TaskGraph, alap: List[float]
+) -> List[Tuple[float, ...]]:
     """For each task, the sorted tuple of ALAPs of the task and all its
     descendants (the original MCP tie-breaking key)."""
     n = graph.num_tasks
@@ -53,7 +55,7 @@ def _descendant_alap_lists(graph: TaskGraph, alap: List[float]) -> List[tuple]:
         for s in graph.succs(t):
             r |= (1 << s) | reach[s]
         reach[t] = r
-    keys: List[tuple] = [()] * n
+    keys: List[Tuple[float, ...]] = [()] * n
     for t in range(n):
         alaps = [alap[t]]
         mask = reach[t]

@@ -21,7 +21,7 @@ experiment (DESIGN.md X4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,7 +68,7 @@ class ExecutionResult:
 def _replay(
     schedule: Schedule,
     comp: Sequence[float],
-    comm_scale_per_edge: Optional[dict] = None,
+    comm_scale_per_edge: Optional[Dict[Tuple[int, int], float]] = None,
 ) -> ExecutionResult:
     graph = schedule.graph
     machine = schedule.machine
@@ -111,14 +111,14 @@ def _replay(
         busy[p] += duration
         executed += 1
 
-        def finish_task(task=task, p=p) -> None:
+        def finish_task(task: int = task, p: int = p) -> None:
             finish[task] = sim.now
             done[task] = True
             proc_free[p] = True
             for succ in graph.succs(task):
                 delay = edge_delay(task, succ)
 
-                def deliver(succ=succ) -> None:
+                def deliver(succ: int = succ) -> None:
                     remaining_msgs[succ] -= 1
                     try_start(schedule.proc_of(succ))
 

@@ -42,6 +42,8 @@ import time
 import traceback
 from collections import deque
 from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
 from multiprocessing.connection import wait as _connection_wait
 from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional, Sequence, Tuple
 
@@ -107,7 +109,7 @@ class TaskOutcome:
         return self.kind == COMPLETED
 
 
-def _worker_main(conn, runner: Callable[[Any], Any]) -> None:
+def _worker_main(conn: Connection, runner: Callable[[Any], Any]) -> None:
     """Worker loop: receive ``(index, item)``, ack ``started``, run, reply.
 
     The ``started`` ack is sent before the item is touched, so the
@@ -154,7 +156,7 @@ class _Assignment:
 class _Worker:
     __slots__ = ("proc", "conn", "assignment", "exitcode")
 
-    def __init__(self, proc, conn) -> None:
+    def __init__(self, proc: BaseProcess, conn: Connection) -> None:
         self.proc = proc
         self.conn = conn
         self.assignment: Optional[_Assignment] = None
@@ -310,7 +312,7 @@ def run_supervised(
     def work_waiting() -> bool:
         return bool(ready) or bool(delayed)
 
-    def handle_message(worker: _Worker, msg) -> None:
+    def handle_message(worker: _Worker, msg: Tuple[Any, ...]) -> None:
         a = worker.assignment
         kind = msg[0]
         if a is None or msg[1] != a.index:
@@ -451,9 +453,12 @@ def run_supervised(
                             dead.append(worker)
                     continue
                 worker = by_sentinel.get(obj)
-                if worker is not None and not worker.proc.is_alive():
-                    if worker not in dead:
-                        dead.append(worker)
+                if (
+                    worker is not None
+                    and not worker.proc.is_alive()
+                    and worker not in dead
+                ):
+                    dead.append(worker)
             for worker in dead:
                 if worker in pool:
                     handle_death(worker)

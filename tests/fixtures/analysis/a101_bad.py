@@ -1,0 +1,13 @@
+"""A101 trigger: blocking calls inside async def."""
+
+import subprocess
+import time
+
+
+async def handler(conn):
+    time.sleep(0.1)
+    subprocess.run(["true"], check=False)
+    payload = conn.recv()
+    with open("state.json") as fh:
+        text = fh.read()
+    return payload, text

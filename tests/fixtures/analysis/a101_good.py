@@ -1,0 +1,21 @@
+"""A101 non-trigger: async-safe equivalents and thread offloading."""
+
+import asyncio
+import time
+
+
+def read_state():
+    # Synchronous helper: blocking here is fine, it runs in a worker thread.
+    with open("state.json") as fh:
+        return fh.read()
+
+
+async def handler(loop, sock):
+    await asyncio.sleep(0.1)
+    data = await loop.sock_recv(sock, 4096)
+    text = await asyncio.to_thread(read_state)
+    return data, text
+
+
+def warm_up():
+    time.sleep(0.1)  # not async: blocking is allowed

@@ -1,0 +1,18 @@
+"""A102 trigger: module-level lock in a module that forks workers."""
+
+import multiprocessing
+import threading
+
+_REGISTRY_LOCK = threading.Lock()
+_STATE = {}
+
+
+def start_worker(target):
+    proc = multiprocessing.get_context("fork").Process(target=target)
+    proc.start()
+    return proc
+
+
+def register(name, value):
+    with _REGISTRY_LOCK:
+        _STATE[name] = value

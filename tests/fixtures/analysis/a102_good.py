@@ -1,0 +1,17 @@
+"""A102 non-trigger: locks live on instances created after the fork decision."""
+
+import multiprocessing
+import threading
+
+
+class WorkerPool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._workers = []
+
+    def start_worker(self, target):
+        proc = multiprocessing.get_context("fork").Process(target=target)
+        proc.start()
+        with self._lock:
+            self._workers.append(proc)
+        return proc

@@ -1,0 +1,38 @@
+"""A103 non-trigger: try/finally unlink, and the finalizer-class discipline."""
+
+import weakref
+from multiprocessing import shared_memory
+
+
+def roundtrip(blob):
+    shm = shared_memory.SharedMemory(create=True, size=len(blob))
+    try:
+        shm.buf[: len(blob)] = blob
+        return bytes(shm.buf[: len(blob)])
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+class SegmentStore:
+    def __init__(self):
+        self._segments = {}
+        self._finalizer = weakref.finalize(
+            self, SegmentStore._unlink_all, self._segments
+        )
+
+    @staticmethod
+    def _unlink_all(segments):
+        for shm in segments.values():
+            shm.close()
+            shm.unlink()
+
+    def register(self, name, blob):
+        shm = shared_memory.SharedMemory(name=name, create=True, size=len(blob))
+        shm.buf[: len(blob)] = blob
+        self._segments[name] = shm
+        return name
+
+    def attach(self, name):
+        # create=False (attach) needs no unlink discipline.
+        return shared_memory.SharedMemory(name=name, create=False)

@@ -1,0 +1,20 @@
+"""A201 trigger: mutating a frozen dataclass after construction."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Options:
+    procs: int
+    algo: str = "flb"
+
+
+def tweak():
+    opts = Options(procs=4)
+    opts.procs = 8
+    return opts
+
+
+def backdoor(opts):
+    object.__setattr__(opts, "algo", "heft")
+    return opts

@@ -1,0 +1,31 @@
+"""A201 non-trigger: dataclasses.replace and __post_init__ only."""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Options:
+    procs: int
+    algo: str = "flb"
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.label:
+            object.__setattr__(self, "label", f"{self.algo}-{self.procs}")
+
+
+def tweak():
+    opts = Options(procs=4)
+    return dataclasses.replace(opts, procs=8)
+
+
+@dataclass
+class MutableOptions:
+    procs: int
+
+
+def tweak_mutable():
+    opts = MutableOptions(procs=4)
+    opts.procs = 8  # not frozen: assignment is fine
+    return opts

@@ -1,0 +1,10 @@
+"""A202 trigger: poking at TaskGraph private caches from outside repro.graph."""
+
+
+def stash(graph, delays):
+    graph._prop_cache[("pred_delay", 1.0)] = delays
+
+
+def peek(graph):
+    cached = graph._prop_cache.get("neg_bl_arr")
+    return cached, graph._fingerprint

@@ -1,0 +1,10 @@
+"""A202 non-trigger: the public memo API and fingerprint accessor."""
+
+
+def stash(graph, delays):
+    graph.memo_set(("pred_delay", 1.0), delays)
+
+
+def peek(graph):
+    cached = graph.memo_get("neg_bl_arr")
+    return cached, graph.fingerprint()

@@ -1,0 +1,12 @@
+"""A203 trigger: mutating a TaskGraph after freeze() in the same scope."""
+
+from repro.graph.taskgraph import TaskGraph
+
+
+def build():
+    graph = TaskGraph("demo")
+    graph.add_task("a", 1.0)
+    graph.freeze()
+    graph.add_task("b", 2.0)
+    graph.add_edge("a", "b", 0.5)
+    return graph

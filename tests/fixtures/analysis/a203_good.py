@@ -1,0 +1,20 @@
+"""A203 non-trigger: all mutation happens before freeze()."""
+
+from repro.graph.taskgraph import TaskGraph
+
+
+def build():
+    graph = TaskGraph("demo")
+    graph.add_task("a", 1.0)
+    graph.add_task("b", 2.0)
+    graph.add_edge("a", "b", 0.5)
+    graph.freeze()
+    return graph
+
+
+def extend(frozen):
+    # Mutating a thawed copy is the sanctioned pattern.
+    graph = frozen.copy(mutable=True)
+    graph.add_task("c", 3.0)
+    graph.freeze()
+    return graph

@@ -1,0 +1,12 @@
+"""A301 trigger: inline tuple cache keys instead of make_cache_key."""
+
+
+def lookup(result_cache, fingerprint, procs, algo):
+    hit = result_cache.get((fingerprint, procs, algo))
+    if hit is not None:
+        return hit
+    return None
+
+
+def store(inflight_cache, fingerprint, procs, value):
+    inflight_cache[(fingerprint, procs)] = value

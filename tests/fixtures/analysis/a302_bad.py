@@ -1,0 +1,7 @@
+"""A302 trigger: metric names off the *_total / *_seconds conventions."""
+
+
+def wire(registry):
+    runs = registry.counter("batch_runs")
+    depth = registry.histogram("serve_queue_depth")
+    return runs, depth

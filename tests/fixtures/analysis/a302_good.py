@@ -1,0 +1,11 @@
+"""A302 non-trigger: conventional names, or explicit size buckets."""
+
+_DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def wire(registry):
+    runs = registry.counter("batch_runs_total")
+    latency = registry.histogram("serve_request_seconds")
+    depth = registry.histogram("serve_queue_depth", buckets=_DEPTH_BUCKETS)
+    ready = registry.histogram("flb_ready_tasks", _DEPTH_BUCKETS)
+    return runs, latency, depth, ready

@@ -1,0 +1,12 @@
+"""A303 trigger: warn-once latch with no reset hook."""
+
+import warnings
+
+_fallback_warned = False
+
+
+def maybe_warn():
+    global _fallback_warned
+    if not _fallback_warned:
+        warnings.warn("falling back to the python kernel", stacklevel=2)
+        _fallback_warned = True

@@ -1,0 +1,17 @@
+"""A303 non-trigger: the latch ships with a reset_* hook for tests."""
+
+import warnings
+
+_fallback_warned = False
+
+
+def maybe_warn():
+    global _fallback_warned
+    if not _fallback_warned:
+        warnings.warn("falling back to the python kernel", stacklevel=2)
+        _fallback_warned = True
+
+
+def reset_warnings():
+    global _fallback_warned
+    _fallback_warned = False
