@@ -24,7 +24,7 @@ def main() -> None:
         graph = stencil(40, 50, make_rng(3), ccr=ccr)
         speedups = [speedup(flb(graph, p)) for p in procs_list]
         series[f"CCR={ccr:g}"] = speedups
-        rows.append([f"CCR={ccr:g}"] + [f"{s:.2f}" for s in speedups])
+        rows.append([f"CCR={ccr:g}", *(f"{s:.2f}" for s in speedups)])
         clustering = dsc(graph)
         print(
             f"CCR={ccr:g}: DSC folds {graph.num_tasks} tasks into "
@@ -32,7 +32,7 @@ def main() -> None:
             f"(virtual makespan {clustering.makespan:.1f} vs serial {graph.total_comp():.1f})"
         )
     print()
-    print(format_table(["grain"] + [f"P={p}" for p in procs_list], rows,
+    print(format_table(["grain", *(f"P={p}" for p in procs_list)], rows,
                        title="FLB speedup on stencil(40x50)"))
     print()
     print(format_series_chart(list(procs_list), series,

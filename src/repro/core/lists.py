@@ -227,5 +227,5 @@ class FlbLists:
         assert self._num_ready == slow_num_ready, (
             f"num_ready counter {self._num_ready} != recomputed {slow_num_ready}"
         )
-        for heap in self._emt_ep + self._lmt_ep + [self._non_ep, self._active, self._all_procs]:
+        for heap in [*self._emt_ep, *self._lmt_ep, self._non_ep, self._active, self._all_procs]:
             heap.check_invariants()

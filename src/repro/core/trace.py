@@ -107,7 +107,7 @@ def format_trace(recorder: TraceRecorder, procs: Optional[List[int]] = None) -> 
         seen = sorted({p for row in recorder.rows for p in row.ep_tasks})
         procs = seen if seen else [0]
 
-    headers = [f"EP tasks on p{p}" for p in procs] + ["non-EP tasks", "scheduling"]
+    headers = [*(f"EP tasks on p{p}" for p in procs), "non-EP tasks", "scheduling"]
     col_lines: List[List[List[str]]] = []  # row -> column -> lines
     for row in recorder.rows:
         cols: List[List[str]] = []

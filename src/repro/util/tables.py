@@ -61,7 +61,7 @@ def format_table(
             raise ValueError(f"row has {len(row)} cells, expected {ncols}: {row}")
 
     if align is None:
-        align = ["l"] + ["r"] * (ncols - 1)
+        align = ["l", *["r"] * (ncols - 1)]
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):

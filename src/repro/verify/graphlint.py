@@ -220,7 +220,7 @@ def find_cycle(
                         cur = parent[cur]
                         path.append(cur)
                     path.reverse()
-                    return path + [nxt]
+                    return [*path, nxt]
             else:
                 color[node] = 2
                 stack.pop()

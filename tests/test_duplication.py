@@ -1,6 +1,7 @@
 """Tests for the duplication subsystem: DuplicationSchedule and DSH."""
 
 import pytest
+from typing import ClassVar
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -102,7 +103,7 @@ class TestDuplicationSchedule:
 
 
 class TestDsh:
-    WORKLOADS = [
+    WORKLOADS: ClassVar = [
         lambda: paper_example(),
         lambda: lu(8, make_rng(0), ccr=5.0),
         lambda: fft(16, make_rng(1), ccr=2.0),

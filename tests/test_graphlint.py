@@ -149,7 +149,7 @@ class TestRules:
         assert "G009" in codes(report)
 
     def test_g009_outlier_edge(self):
-        edges = [(0, i, 1.0) for i in range(1, 40)] + [(0, 40, 100000.0)]
+        edges = [*((0, i, 1.0) for i in range(1, 40)), (0, 40, 100000.0)]
         report = lint_data([1.0] * 41, edges)
         issues = [i for i in report.issues if i.code == "G009"]
         assert any("outlier" in i.message for i in issues)

@@ -109,9 +109,8 @@ class TestRegistry:
     def test_register_requires_frozen(self):
         g = TaskGraph()
         g.add_task(1.0)
-        with GraphStore() as store:
-            with pytest.raises(GraphStoreError, match="frozen"):
-                store.register(g)
+        with GraphStore() as store, pytest.raises(GraphStoreError, match="frozen"):
+            store.register(g)
 
     def test_register_after_close_raises(self):
         store = GraphStore()
@@ -202,8 +201,7 @@ class TestNoLeaks:
 
     def test_context_manager_unlinks_on_error(self):
         before = graphstore.list_segments()
-        with pytest.raises(RuntimeError):
-            with GraphStore() as store:
-                store.register(lu(6, make_rng(0)))
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), GraphStore() as store:
+            store.register(lu(6, make_rng(0)))
+            raise RuntimeError("boom")
         assert graphstore.list_segments() == before

@@ -204,15 +204,13 @@ def test_property_model_equivalence(ops):
             else:
                 with pytest.raises(HeapEmptyError):
                     h.pop()
-        elif op == "remove":
-            if model:
-                victim = sorted(model)[key % len(model)]
-                assert h.remove(victim) == model.pop(victim)
-        elif op == "update":
-            if model:
-                victim = sorted(model)[key % len(model)]
-                h.update(victim, key)
-                model[victim] = key
+        elif op == "remove" and model:
+            victim = sorted(model)[key % len(model)]
+            assert h.remove(victim) == model.pop(victim)
+        elif op == "update" and model:
+            victim = sorted(model)[key % len(model)]
+            h.update(victim, key)
+            model[victim] = key
         h.check_invariants()
         if model:
             assert h.peek()[1] == min(model.values())

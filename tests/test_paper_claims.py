@@ -1,6 +1,8 @@
 """Executable checks of the paper's stated claims and definitions beyond
 Theorem 3 (which has its own suite in test_flb_oracle.py)."""
 
+from typing import ClassVar
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -131,7 +133,7 @@ class TestFcpTwoProcessorLemma:
         from repro.core.oracle import est_of
 
         class LemmaObserver:
-            failures = []
+            failures: ClassVar = []
 
             def on_iteration(self, snapshot):
                 schedule = snapshot.schedule
