@@ -1,0 +1,132 @@
+"""The machine-aware plane end to end: FLB on the paper machine vs HEFT
+on related machines, across speed skews.
+
+Unlike :mod:`benchmarks.bench_heterogeneity` (which calls the schedulers
+directly to isolate algorithm quality), this benchmark drives the full
+first-class plane — ``SchedulingOptions(machine=...)`` through
+:func:`repro.api.schedule_graph`, with the independent certifier run on
+every schedule (the greedy F001/F002 certificate for FLB, the
+related-machines F003 replay for HEFT) — so the numbers cover what a
+caller of the public API actually pays, certification included.
+
+For each skew ``s`` the machine has P processors with speeds
+``s**(-i/(P-1))`` (geometric from 1 down to 1/s; skew 1 is the paper's
+homogeneous machine).  Reported per workload and skew:
+
+* FLB's makespan on the *homogeneous* model of the same machine (speeds
+  averaged into one uniform rate — what a heterogeneity-blind deployment
+  would provision), executed on the true machine's mean rate;
+* HEFT's makespan on the true related-machines model;
+* the certify wall time for each.
+
+Run as a script to produce ``results/heterogeneous.txt``::
+
+    PYTHONPATH=src python benchmarks/bench_heterogeneous.py
+    PYTHONPATH=src python benchmarks/bench_heterogeneous.py --tasks 400
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.api import SchedulingOptions, schedule_graph
+from repro.machine import MachineModel
+from repro.util.rng import make_rng
+from repro.verify import certify
+from repro.workloads import lu, stencil
+from repro.workloads.stencil import stencil_size_for_tasks
+
+PROCS = 8
+SKEWS = (1.0, 2.0, 4.0, 8.0)
+
+
+def _machine(skew: float) -> MachineModel:
+    speeds = tuple(skew ** (-i / (PROCS - 1)) for i in range(PROCS))
+    return MachineModel(PROCS, speeds=speeds)
+
+
+def _build(problem: str, tasks: int, seed: int):
+    rng = make_rng(seed)
+    if problem == "lu":
+        n = max(4, round((2 * tasks) ** 0.5))
+        return lu(n, rng, ccr=1.0)
+    width, steps = stencil_size_for_tasks(tasks)
+    return stencil(width, steps, rng, ccr=1.0)
+
+
+def _run(graph, options):
+    t0 = time.perf_counter()
+    schedule = schedule_graph(graph, options)
+    sched_s = time.perf_counter() - t0
+    flavor = "heft" if options.algorithm == "heft" else "flb"
+    t0 = time.perf_counter()
+    cert = certify(schedule, flavor=flavor)
+    cert_s = time.perf_counter() - t0
+    assert cert.ok, cert.render()
+    return schedule.makespan, sched_s, cert_s
+
+
+def run(tasks: int, seeds: int):
+    lines = [
+        "== heterogeneous: the machine-aware plane end to end ==",
+        f"FLB on the homogeneous mean-rate model vs HEFT on related machines, "
+        f"P={PROCS}, ~{tasks} tasks, {seeds} seed(s); makespans are means, "
+        "times are per-schedule certify wall time",
+        "",
+    ]
+    header = (
+        f"{'workload':<10} {'skew':>5} {'flb(homog)':>12} {'heft(related)':>14} "
+        f"{'ratio':>7} {'certify flb':>12} {'certify heft':>13}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for problem in ("lu", "stencil"):
+        for skew in SKEWS:
+            machine = _machine(skew)
+            mean_speed = sum(machine.speeds) / PROCS
+            # The heterogeneity-blind deployment: one uniform rate equal to
+            # the true machine's mean — same aggregate capacity, no per-
+            # processor knowledge.
+            homog = MachineModel(PROCS, speeds=(mean_speed,) * PROCS)
+            flb_ms = heft_ms = flb_cert = heft_cert = 0.0
+            for seed in range(seeds):
+                graph = _build(problem, tasks, seed)
+                ms, _, c = _run(
+                    graph, SchedulingOptions(machine=homog, algorithm="flb")
+                )
+                flb_ms += ms
+                flb_cert += c
+                ms, _, c = _run(
+                    graph, SchedulingOptions(machine=machine, algorithm="heft")
+                )
+                heft_ms += ms
+                heft_cert += c
+            flb_ms /= seeds
+            heft_ms /= seeds
+            lines.append(
+                f"{problem:<10} {skew:>5.1f} {flb_ms:>12.2f} {heft_ms:>14.2f} "
+                f"{flb_ms / heft_ms:>7.3f} {flb_cert / seeds:>11.4f}s "
+                f"{heft_cert / seeds:>12.4f}s"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tasks", type=int, default=400)
+    parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument(
+        "--out", default=str(Path("results") / "heterogeneous.txt")
+    )
+    args = parser.parse_args()
+    text = run(args.tasks, args.seeds)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text)
+    print(text)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,7 +34,6 @@ from typing import Any, List
 from repro._version import __version__
 from repro.core import flb
 from repro.graph import TaskGraph
-from repro.machine import MachineModel
 
 __all__ = [
     "__version__",
@@ -54,6 +53,7 @@ __all__ = [
 
 #: Lazily imported public names: attribute -> (module, attribute there).
 _LAZY = {
+    "MachineModel": ("repro.machine", "MachineModel"),
     "schedule_graph": ("repro.api", "schedule_graph"),
     "SchedulingOptions": ("repro.api", "SchedulingOptions"),
     "schedule_many": ("repro.batch", "schedule_many"),

@@ -1,0 +1,64 @@
+"""A3xx (continued) — machine-model discipline rules.
+
+A304 polices the PR 10 options migration: :class:`repro.api.SchedulingOptions`
+now takes a first-class ``machine=MachineModel(...)`` and keeps the integer
+``procs=`` only as a warn-once legacy shim.  New code spelling ``procs=``
+re-enters the deprecated path (and, under a ``simplefilter("error")`` test,
+explodes); this rule flags every such construction outside the shim layer
+itself.  The deliberate legacy-coverage sites in ``tests/test_api_options.py``
+are carried in ``tools/analysis-baseline.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.engine import (
+    WARNING,
+    AnalysisIssue,
+    FileContext,
+    dotted_name,
+    keyword_arg,
+    rule,
+)
+
+__all__: List[str] = []
+
+#: The one module allowed to construct the legacy form: the shim layer that
+#: resolves ``procs`` into the homogeneous ``MachineModel``.
+_SHIM_MODULE = "repro.api"
+
+
+@rule("A304", WARNING, "SchedulingOptions built with legacy procs=")
+def _check_legacy_procs_options(ctx: FileContext) -> List[AnalysisIssue]:
+    """Flags ``SchedulingOptions(procs=...)`` constructions with a non-None
+    value: the integer form is a deprecated warn-once shim that resolves to
+    the homogeneous clique.  Spell the target explicitly —
+    ``SchedulingOptions(machine=MachineModel(P))`` — so heterogeneous
+    machines, cache fingerprints, and the warning-free path all hold."""
+    if ctx.module == _SHIM_MODULE:
+        return []
+    issues: List[AnalysisIssue] = []
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None or name.split(".")[-1] != "SchedulingOptions":
+            continue
+        value = keyword_arg(node, "procs")
+        if value is None:
+            continue
+        if isinstance(value, ast.Constant) and value.value is None:
+            continue
+        issues.append(
+            ctx.issue(
+                value,
+                "A304",
+                WARNING,
+                "SchedulingOptions(procs=...) uses the deprecated integer "
+                "shim; pass machine=MachineModel(...) instead "
+                "(docs/machine-model.md)",
+            )
+        )
+    return issues

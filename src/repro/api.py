@@ -10,7 +10,7 @@ dataclass accepted by all three::
 
     from repro import SchedulingOptions, schedule_graph, schedule_many
 
-    opts = SchedulingOptions(procs=8, algorithm="flb", validate=True)
+    opts = SchedulingOptions(machine=MachineModel(8), validate=True)
     schedule = schedule_graph(graph, opts)
     results = schedule_many(jobs, workers=4, options=opts.replace(timeout=5.0))
 
@@ -23,9 +23,16 @@ keywords and never warn.
 
 Fields (see each entry point for which ones it consumes):
 
-* ``procs`` / ``algorithm`` — the scheduling request itself; used by
-  :func:`schedule_graph`.  Batch entry points take them per
-  :class:`~repro.batch.BatchJob` and ignore these fields.
+* ``machine`` / ``algorithm`` — the scheduling request itself; used by
+  :func:`schedule_graph`.  ``machine`` is a full
+  :class:`~repro.machine.MachineModel` (processor count plus the
+  heterogeneous hooks: ``speeds``, ``latency``, ``comm_scale``); the
+  legacy ``procs`` field still works as a warn-once shim that resolves
+  to the homogeneous default ``MachineModel(procs)`` (mixing both is a
+  :class:`TypeError`; see ``docs/machine-model.md``).  Batch entry
+  points take the request per :class:`~repro.batch.BatchJob`; a batch
+  ``options.machine`` supplies the default machine for jobs that carry
+  only an integer ``procs``.
 * ``validate`` — re-check every schedule from first principles.
 * ``certify`` — run the independent checker (:mod:`repro.verify`).
 * ``timeout`` / ``retries`` — per-job execution budget and worker-death
@@ -67,6 +74,7 @@ __all__ = [
     "resolve_job_kernel",
     "UNSET",
     "resolve_options",
+    "reset_options_deprecations",
 ]
 
 
@@ -91,10 +99,28 @@ class _Unset:
 #: caller really passed the keyword, which triggers the deprecation path.
 UNSET = _Unset()
 
+#: Warn-once latch for the legacy ``procs=`` options field.
+_procs_field_warned = False
+
+
+def reset_options_deprecations() -> None:
+    """Re-arm the one-per-process ``procs=`` deprecation warning (tests)."""
+    global _procs_field_warned
+    _procs_field_warned = False
+
 
 @dataclass(frozen=True)
 class SchedulingOptions:
-    """The one scheduling-options record shared by every entry point."""
+    """The one scheduling-options record shared by every entry point.
+
+    ``machine`` is the canonical spelling of the scheduling target; the
+    legacy ``procs`` integer still works as a warn-once shim resolving to
+    the homogeneous ``MachineModel(procs)``.  After construction both
+    fields are populated (``procs`` mirrors ``machine.num_procs``), so
+    existing readers of ``options.procs`` keep working; passing *both* at
+    construction is a :class:`TypeError`, exactly like mixing ``options``
+    with legacy keywords at an entry point.
+    """
 
     procs: Optional[int] = None
     algorithm: str = "flb"
@@ -105,10 +131,35 @@ class SchedulingOptions:
     metrics: Optional[MetricsRegistry] = None
     kernel: str = "auto"
     warm_start: bool = False
+    machine: Optional["MachineModel"] = None
 
     def __post_init__(self) -> None:
-        if self.procs is not None and self.procs < 1:
-            raise ValueError(f"procs must be >= 1, got {self.procs}")
+        global _procs_field_warned
+        if self.procs is not None and self.machine is not None:
+            # Only a caller can hand us both: the mirror backfill below
+            # runs after this check, and replace() strips the mirror.
+            raise TypeError(
+                "SchedulingOptions: pass machine=MachineModel(...) or the "
+                "legacy procs=, not both"
+            )
+        if self.procs is not None:
+            if self.procs < 1:
+                raise ValueError(f"procs must be >= 1, got {self.procs}")
+            if not _procs_field_warned:
+                _procs_field_warned = True
+                warnings.warn(
+                    "SchedulingOptions(procs=...) is deprecated; pass "
+                    "machine=MachineModel(procs) instead (see "
+                    "docs/machine-model.md). This warning is emitted once "
+                    "per process.",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            from repro.machine.model import MachineModel
+
+            object.__setattr__(self, "machine", MachineModel(self.procs))
+        elif self.machine is not None:
+            object.__setattr__(self, "procs", self.machine.num_procs)
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
         if self.retries < 0:
@@ -122,8 +173,20 @@ class SchedulingOptions:
             )
 
     def replace(self, **changes: Any) -> "SchedulingOptions":
-        """A copy with ``changes`` applied (frozen dataclasses are immutable)."""
-        return dataclasses.replace(self, **changes)
+        """A copy with ``changes`` applied (frozen dataclasses are immutable).
+
+        ``procs`` is derived state (the mirror of ``machine.num_procs``),
+        so unless ``changes`` re-specifies it the copy is rebuilt from
+        ``machine`` alone — replacing an unrelated field can never trip
+        the procs/machine mixing check and never re-warns.
+        """
+        base = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        if "procs" in changes and "machine" not in changes:
+            base["machine"] = None
+        else:
+            base["procs"] = None
+        base.update(changes)
+        return SchedulingOptions(**base)
 
 
 def resolve_options(
@@ -141,17 +204,24 @@ def resolve_options(
     answer).
     """
     supplied = {k: v for k, v in legacy.items() if v is not UNSET}
+    supplied_names = sorted(supplied)
     if options is not None:
         if supplied:
             raise TypeError(
                 f"{entry_point}: pass either options=SchedulingOptions(...) or "
-                f"the legacy keyword(s) {sorted(supplied)}, not both"
+                f"the legacy keyword(s) {supplied_names}, not both"
             )
         return options
+    if supplied.get("procs") is not None:
+        # Resolve the legacy integer here so the options constructor's own
+        # procs-field shim does not fire a second warning for this call.
+        from repro.machine.model import MachineModel
+
+        supplied["machine"] = MachineModel(supplied.pop("procs"))
     opts = SchedulingOptions(**supplied)
-    if supplied:
+    if supplied_names:
         warnings.warn(
-            f"{entry_point}: the {sorted(supplied)} keyword(s) are deprecated; "
+            f"{entry_point}: the {supplied_names} keyword(s) are deprecated; "
             f"pass options=SchedulingOptions(...) instead "
             f"(see docs/performance.md, 'Unified scheduling options')",
             DeprecationWarning,
@@ -224,8 +294,15 @@ def schedule_graph(
     The canonical form takes a :class:`SchedulingOptions` (keyword or as
     the second positional argument)::
 
-        schedule_graph(graph, SchedulingOptions(procs=8, algorithm="etf"))
+        schedule_graph(graph, SchedulingOptions(machine=MachineModel(8),
+                                                algorithm="etf"))
         schedule_graph(graph, options=opts, machine=hetero_machine)
+
+    ``options.machine`` carries the target machine (heterogeneous models
+    included); the ``machine=`` keyword, when given, overrides it for this
+    call.  The legacy ``options.procs`` integer resolves to the
+    homogeneous ``MachineModel(procs)`` and yields a bit-identical
+    schedule.
 
     ``options.validate`` re-checks the result from first principles;
     ``options.certify`` additionally runs the independent checker
@@ -264,6 +341,9 @@ def schedule_graph(
             "algorithm": algorithm,
         },
     )
+    # The machine= keyword wins over options.machine for this call; the
+    # options mirror guarantees opts.machine is set whenever opts.procs is.
+    eff_machine = machine if machine is not None else opts.machine
     metrics = opts.metrics
     kernel = "object"
     if opts.algorithm == "flb" and "observer" not in kwargs:
@@ -287,7 +367,7 @@ def schedule_graph(
             result = flb_array(
                 graph,
                 opts.procs,
-                machine=machine,
+                machine=eff_machine,
                 backend=kernel,
                 metrics=metrics,
                 base=warm_base,
@@ -303,7 +383,7 @@ def schedule_graph(
         scheduler = get_scheduler(opts.algorithm)
 
         def _run() -> "Schedule":
-            return scheduler(graph, opts.procs, machine=machine, **kwargs)
+            return scheduler(graph, opts.procs, machine=eff_machine, **kwargs)
 
     if metrics is not None:
         with metrics.span("sched.kernel", algo=opts.algorithm, kernel=kernel) as s:

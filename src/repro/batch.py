@@ -100,8 +100,13 @@ class BatchJob:
     """One scheduling request.
 
     ``tag`` is an opaque caller identifier echoed into the result (problem
-    name, request id, ...).  ``machine`` overrides the default homogeneous
-    clique of ``procs`` processors.
+    name, request id, ...).  The target machine is either ``machine`` (a
+    full :class:`~repro.machine.MachineModel`, heterogeneous models
+    included) or the legacy ``procs`` integer, which resolves to the
+    homogeneous clique ``MachineModel(procs)``; passing both with
+    disagreeing processor counts is a :class:`ValueError`.  A job carrying
+    neither inherits the batch default
+    (``SchedulingOptions.machine``) at dispatch time.
 
     ``graph_key`` is the graph-plane alternative to ``graph``: the name of
     a shared-memory segment registered via :class:`repro.graphstore.GraphStore`
@@ -121,12 +126,49 @@ class BatchJob:
     """
 
     graph: Optional[TaskGraph]
-    procs: int
+    procs: Optional[int] = None
     algo: str = "flb"
     tag: str = ""
     machine: Optional[MachineModel] = None
     graph_key: Optional[str] = None
     base_fingerprint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.procs is not None
+            and self.machine is not None
+            and self.machine.num_procs != self.procs
+        ):
+            raise ValueError(
+                f"BatchJob procs={self.procs} conflicts with "
+                f"machine.num_procs={self.machine.num_procs}"
+            )
+
+
+#: Memo of homogeneous machines by processor count, so the per-job
+#: ``procs -> MachineModel`` resolution shares one instance (and its
+#: memoized fingerprint) across a whole batch.
+_homog_machines: Dict[int, MachineModel] = {}
+
+
+def _homogeneous(procs: int) -> MachineModel:
+    machine = _homog_machines.get(procs)
+    if machine is None:
+        machine = MachineModel(procs)
+        _homog_machines[procs] = machine
+    return machine
+
+
+def _effective_machine(
+    job: BatchJob, default: Optional[MachineModel]
+) -> Optional[MachineModel]:
+    """The machine a job will actually run on: the job's own ``machine``,
+    else the homogeneous clique of its ``procs``, else the batch default."""
+    if job.machine is not None:
+        return job.machine
+    if job.procs is not None:
+        return _homogeneous(job.procs)
+    return default
 
 
 @dataclass(frozen=True)
@@ -190,10 +232,16 @@ def _failed_result(
     attempts: int = 1,
     phases: Optional[Dict[str, float]] = None,
 ) -> BatchResult:
+    # Resolved without building a MachineModel: the job may be failing
+    # precisely because its procs are un-modelable (e.g. procs=0).
+    if job.machine is not None:
+        procs = job.machine.num_procs
+    else:
+        procs = job.procs if job.procs is not None else 0
     return BatchResult(
         tag=job.tag,
         algo=job.algo,
-        procs=job.procs,
+        procs=procs,
         num_tasks=job.graph.num_tasks if job.graph is not None else 0,
         makespan=float("nan"),
         speedup=float("nan"),
@@ -214,8 +262,12 @@ def _run_job(
     measure: bool = False,
     kernel: str = "auto",
     warm_start: bool = False,
+    machine: Optional[MachineModel] = None,
 ) -> BatchResult:
     """Worker body: schedule one job, mapping any failure to ``error``.
+
+    ``machine`` is the batch-level default model; the job's own
+    ``machine``/``procs`` win over it (see :func:`_effective_machine`).
 
     Top-level so worker processes can import it; exceptions are rendered to
     strings here because traceback objects do not cross process boundaries.
@@ -251,7 +303,7 @@ def _run_job(
 
             if stock_flb_registered():
                 resolved = resolve_kernel(kernel)
-        procs = job.procs if job.machine is None else None
+        eff_machine = _effective_machine(job, machine)
         t_sched = time.perf_counter()
         warm: Optional[Dict[str, Any]] = None
         if resolved != "object":
@@ -264,7 +316,7 @@ def _run_job(
                 base = base_cache().get(job.base_fingerprint)
                 warm = {}
             schedule = flb_array(
-                job.graph, procs, machine=job.machine, backend=resolved,
+                job.graph, machine=eff_machine, backend=resolved,
                 base=base, warm_stats=warm,
             )
             if warm_start:
@@ -278,7 +330,7 @@ def _run_job(
                 resolved = "array"
         else:
             scheduler = get_scheduler(job.algo)
-            schedule = scheduler(job.graph, procs, machine=job.machine)
+            schedule = scheduler(job.graph, machine=eff_machine)
         if phases is not None:
             phases["schedule"] = time.perf_counter() - t_sched
     except Exception:
@@ -334,10 +386,12 @@ def _run_job(
         )
 
 
-def _run_packed(packed: Tuple[BatchJob, bool, bool, bool, str, bool]) -> BatchResult:
+def _run_packed(
+    packed: Tuple[BatchJob, bool, bool, bool, str, bool, Optional[MachineModel]]
+) -> BatchResult:
     """Module-level runner for the worker pool (must be picklable)."""
-    job, validate, certify, measure, kernel, warm_start = packed
-    return _run_job(job, validate, certify, measure, kernel, warm_start)
+    job, validate, certify, measure, kernel, warm_start, machine = packed
+    return _run_job(job, validate, certify, measure, kernel, warm_start, machine)
 
 
 def _cache_key(
@@ -348,20 +402,31 @@ def _cache_key(
     store: Optional["graphstore.GraphStore"],
     kernels: Dict[str, str],
     kernel: str = "auto",
+    machine: Optional[MachineModel] = None,
 ) -> Optional[CacheKey]:
     """Result-cache key for a job, or ``None`` when the job is uncacheable.
 
-    Jobs with a custom machine have no content fingerprint for the machine
-    and bypass the cache.  ``fingerprints`` memoises per graph object so a
-    batch of N jobs over one graph hashes it once.  ``certify`` is part of
-    the key: a certified result answers strictly more than an uncertified
-    one, and the cache never serves the weaker answer for the stronger
-    request.  The *resolved* kernel backend is part of the key too
-    (``kernels`` memoises per algo): the FLB backends are bit-identical,
-    but ``BatchResult.kernel`` reports which one ran, and a cached entry
-    must never misreport the backend that computed it.
+    The effective machine (job's own, else the homogeneous clique of its
+    ``procs``, else the batch default ``machine``) is folded into the key
+    via its :meth:`~repro.machine.MachineModel.fingerprint`, so two
+    machines with equal ``num_procs`` but different speeds/latency/scale
+    can never share an entry, while the legacy integer spelling and the
+    explicit homogeneous model do.  ``fingerprints`` memoises per graph
+    object so a batch of N jobs over one graph hashes it once.
+    ``certify`` is part of the key: a certified result answers strictly
+    more than an uncertified one, and the cache never serves the weaker
+    answer for the stronger request.  The *resolved* kernel backend is
+    part of the key too (``kernels`` memoises per algo): the FLB backends
+    are bit-identical, but ``BatchResult.kernel`` reports which one ran,
+    and a cached entry must never misreport the backend that computed it.
     """
-    if job.machine is not None:
+    try:
+        eff_machine = _effective_machine(job, machine)
+    except ValueError:
+        # Un-modelable procs (e.g. 0): the run will fail per-job.
+        eff_machine = None
+    if eff_machine is None:
+        # Un-servable request: let dispatch surface the error uncached.
         return None
     if job.graph is not None:
         fp = fingerprints.get(id(job.graph))
@@ -378,7 +443,10 @@ def _cache_key(
     if resolved is None:
         resolved = resolve_job_kernel(job.algo, kernel)
         kernels[job.algo] = resolved
-    return make_cache_key(fp, job.procs, job.algo, validate, certify, resolved)
+    return make_cache_key(
+        fp, eff_machine.num_procs, job.algo, validate, certify, resolved,
+        machine=eff_machine,
+    )
 
 
 def schedule_many(
@@ -465,7 +533,8 @@ def schedule_many(
         (always inline pickle — the pre-graph-plane behaviour).
     cache:
         A :class:`~repro.resultcache.ResultCache`.  Jobs whose
-        ``(fingerprint, procs, algo, validate)`` key hits return
+        ``(fingerprint, procs, algo, validate, certify, kernel, machine
+        fingerprint)`` key hits return
         immediately with ``cached=True`` and are never dispatched;
         successful new results are inserted afterwards.  Applies on both
         the inline and the parallel path.
@@ -502,6 +571,7 @@ def schedule_many(
     reg = opts.metrics
     kernel = opts.kernel
     warm_start = opts.warm_start
+    default_machine = opts.machine
     measure = reg is not None
     t_run0 = time.perf_counter()
 
@@ -526,7 +596,7 @@ def schedule_many(
     use_cache = cache is not None and cache.enabled
 
     # Result-cache pass (exact hits answer without dispatching anything),
-    # then within-batch coalescing: duplicate (graph, procs, algo, validate)
+    # then within-batch coalescing: duplicate (graph, machine, algo, validate)
     # jobs are dispatched once — schedulers are deterministic, so the
     # duplicates share the one outcome verbatim.  Coalescing is part of the
     # caching plane (it closes the window where within-batch duplicates all
@@ -538,7 +608,7 @@ def schedule_many(
     for i, job in enumerate(jobs):
         keys[i] = _cache_key(
             job, validate, certify, fingerprints, store,
-            resolved_kernels, kernel,
+            resolved_kernels, kernel, default_machine,
         )
         if use_cache:
             hit = cache.get(keys[i])
@@ -574,6 +644,7 @@ def schedule_many(
         for i in dispatch:
             results[i] = _run_job(
                 jobs[i], validate, certify, measure, kernel, warm_start,
+                default_machine,
             )
         stats["inline_graph_jobs"] = len(dispatch)
     elif dispatch:
@@ -582,7 +653,7 @@ def schedule_many(
             grace=grace, retries=retries, backoff=backoff,
             share_graphs=share_graphs, store=store,
             fingerprints=fingerprints, stats=stats, metrics=reg,
-            kernel=kernel, warm_start=warm_start,
+            kernel=kernel, warm_start=warm_start, machine=default_machine,
         )
         for i, res in zip(dispatch, outcomes):
             results[i] = res
@@ -728,6 +799,7 @@ def _dispatch_pool(
     metrics: Optional[MetricsRegistry] = None,
     kernel: str = "auto",
     warm_start: bool = False,
+    machine: Optional[MachineModel] = None,
 ) -> List[BatchResult]:
     """Fan ``jobs`` across the supervised pool, sharing graphs through the
     graph plane where the policy says so.  Owns (and always unlinks) the
@@ -772,7 +844,7 @@ def _dispatch_pool(
 
         measure = metrics is not None
         outcomes = workerpool.run_supervised(
-            [(job, validate, certify, measure, kernel, warm_start)
+            [(job, validate, certify, measure, kernel, warm_start, machine)
              for job in wire],
             _run_packed,
             workers=min(workers, len(wire)),

@@ -63,9 +63,12 @@ def seed_flb(
     gives the honest "before" number for ``speedup_vs_seed``.
     """
     from repro.core.flb import _flb_observed
-    from repro.schedulers.base import resolve_machine
 
-    return _flb_observed(graph, resolve_machine(num_procs, machine), None, True)
+    if machine is None:
+        if num_procs is None:
+            raise ValueError("seed_flb requires num_procs or machine")
+        machine = MachineModel(num_procs)
+    return _flb_observed(graph, machine, None, True)
 
 
 def measure_throughput(

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bench.suite import Instance
+from repro.machine.model import MachineModel
 from repro.metrics.metrics import speedup, time_scheduler
 from repro.resultcache import ResultCache
 from repro.schedulers import SCHEDULERS
@@ -112,13 +113,15 @@ def run_sweep(
     records: List[RunRecord] = []
     for inst in instances:
         for procs in procs_list:
+            machine = MachineModel(procs)
             for algo in algorithms:
                 scheduler = SCHEDULERS[algo]
-                schedule = scheduler(inst.graph, procs)
+                schedule = scheduler(inst.graph, machine=machine)
                 if validate:
                     schedule.validate()
                 seconds = (
-                    time_scheduler(scheduler, inst.graph, procs, repeats=time_repeats)
+                    time_scheduler(scheduler, inst.graph, machine=machine,
+                                   repeats=time_repeats)
                     if measure_time
                     else None
                 )

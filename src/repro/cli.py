@@ -55,6 +55,7 @@ from repro.bench import (
 )
 from repro.core import TraceRecorder, flb, format_trace
 from repro.graph import TaskGraph, load_json, save_json, width
+from repro.machine.model import MachineModel
 from repro.metrics import summarize, time_scheduler
 from repro.schedule import Schedule, render_gantt
 from repro.schedulers import SCHEDULERS
@@ -139,9 +140,15 @@ def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
 
 
 def _run_algorithm(
-    algo: str, kernel: str, graph: TaskGraph, procs: int
+    algo: str,
+    kernel: str,
+    graph: TaskGraph,
+    procs: int,
+    machine: Optional[MachineModel] = None,
 ) -> Tuple[Schedule, str]:
     """Run ``algo`` honouring ``--kernel``; returns (schedule, backend)."""
+    if machine is None:
+        machine = MachineModel(procs)
     if algo == "flb":
         from repro.core.flb_array import (
             flb_array,
@@ -150,11 +157,106 @@ def _run_algorithm(
         )
 
         if not stock_flb_registered():
-            return SCHEDULERS[algo](graph, procs), "object"
+            return SCHEDULERS[algo](graph, machine=machine), "object"
         resolved = resolve_kernel(kernel)
         if resolved != "object":
-            return flb_array(graph, procs, backend=resolved), resolved
-    return SCHEDULERS[algo](graph, procs), "object"
+            return flb_array(graph, machine=machine, backend=resolved), resolved
+    return SCHEDULERS[algo](graph, machine=machine), "object"
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    """The shared machine-model flag set: spelled identically everywhere.
+
+    No flag given means the homogeneous default machine — bit-identical to
+    the pre-machine-model behaviour.
+    """
+    parser.add_argument(
+        "--speeds", nargs="+", type=float, default=None, metavar="S",
+        help="per-processor relative speeds (length must match the "
+             "processor count); any non-uniform vector makes the machine "
+             "heterogeneous",
+    )
+    parser.add_argument(
+        "--comm-scale", type=float, default=None, metavar="X",
+        help="multiplier applied to every remote communication cost "
+             "(default 1.0)",
+    )
+    parser.add_argument(
+        "--latency", type=float, default=None, metavar="L",
+        help="fixed per-message latency added to every remote "
+             "communication (default 0.0)",
+    )
+    parser.add_argument(
+        "--machine-json", metavar="JSON|FILE", default=None,
+        help="full machine document (MachineModel.to_dict form): inline "
+             "JSON or a path to a JSON file; mutually exclusive with "
+             "--speeds/--comm-scale/--latency",
+    )
+
+
+def _machine_from_args(
+    args: argparse.Namespace, procs: Optional[int]
+) -> Optional[MachineModel]:
+    """Resolve the ``--speeds/--comm-scale/--latency/--machine-json`` flags.
+
+    Returns ``None`` when no machine flag was given, so callers fall back
+    to the plain integer path and stay bit-identical with earlier releases.
+    ``procs`` is the subcommand's processor count (``None`` for ``serve``,
+    which sizes the machine from the flags themselves).  Exits with a
+    message (:class:`SystemExit`) on conflicts or malformed documents.
+    """
+    import json as _json
+    from pathlib import Path
+
+    doc_text = getattr(args, "machine_json", None)
+    speeds = getattr(args, "speeds", None)
+    comm_scale = getattr(args, "comm_scale", None)
+    latency = getattr(args, "latency", None)
+    if doc_text is not None:
+        if speeds is not None or comm_scale is not None or latency is not None:
+            raise SystemExit(
+                "--machine-json is mutually exclusive with "
+                "--speeds/--comm-scale/--latency"
+            )
+        text = doc_text
+        if not text.lstrip().startswith("{"):
+            try:
+                text = Path(doc_text).read_text()
+            except OSError as exc:
+                raise SystemExit(f"cannot read --machine-json: {exc}") from None
+        try:
+            machine = MachineModel.from_dict(_json.loads(text))
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"bad --machine-json: {exc}") from None
+        if procs is not None and machine.num_procs != procs:
+            raise SystemExit(
+                f"--machine-json has num_procs={machine.num_procs} but "
+                f"--procs is {procs}; pass a matching --procs"
+            )
+        return machine
+    if speeds is None and comm_scale is None and latency is None:
+        return None
+    if procs is None:
+        if speeds is None:
+            raise SystemExit(
+                "--comm-scale/--latency need --speeds or --machine-json "
+                "here to size the machine"
+            )
+        procs = len(speeds)
+    if speeds is not None and len(speeds) != procs:
+        raise SystemExit(
+            f"--speeds has {len(speeds)} entries but the machine has "
+            f"{procs} processors"
+        )
+    try:
+        return MachineModel(
+            procs,
+            comm_scale=1.0 if comm_scale is None else comm_scale,
+            latency=0.0 if latency is None else latency,
+            speeds=None if speeds is None else tuple(speeds),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad machine flags: {exc}") from None
 
 
 def _add_workload_args(parser: argparse.ArgumentParser, with_graph: bool = True) -> None:
@@ -210,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--procs", type=int, default=4)
     p_sched.add_argument("--algo", choices=sorted(SCHEDULERS), default="flb")
     _add_kernel_arg(p_sched)
+    _add_machine_args(p_sched)
     p_sched.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     p_sched.add_argument("--table", action="store_true", help="print the placement table")
 
@@ -261,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cert.add_argument("--procs", type=int, default=4)
     p_cert.add_argument("--algo", choices=sorted(SCHEDULERS), default="flb")
     _add_kernel_arg(p_cert)
+    _add_machine_args(p_cert)
     _add_obs_args(p_cert, json_help="emit the certificate as JSON")
     p_cert.add_argument("--stats", action="store_true",
                         help="print certify latency and per-check-code counts")
@@ -298,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--algos", nargs="+", choices=sorted(SCHEDULERS),
                          default=["flb"], help="algorithms")
     _add_kernel_arg(p_batch)
+    _add_machine_args(p_batch)
     p_batch.add_argument("--tasks", type=int, default=500, help="approximate task count")
     p_batch.add_argument("--ccr", type=float, default=1.0)
     p_batch.add_argument("--seeds", type=int, default=1,
@@ -367,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-check every schedule from first principles")
     p_serve.add_argument("--certify", action="store_true",
                          help="run the independent checker on every schedule")
+    _add_machine_args(p_serve)
     p_serve.add_argument("--warm-start", action="store_true",
                          help="enable warm-start rescheduling for every "
                          "request (delta requests with base_fingerprint "
@@ -398,12 +504,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     graph = _resolve_graph(args)
-    schedule, backend = _run_algorithm(args.algo, args.kernel, graph, args.procs)
+    machine = _machine_from_args(args, args.procs)
+    schedule, backend = _run_algorithm(
+        args.algo, args.kernel, graph, args.procs, machine=machine
+    )
     schedule.validate()
     kernel_note = f", kernel={backend}" if args.algo == "flb" else ""
+    machine_note = (
+        ", heterogeneous" if machine is not None and machine.is_heterogeneous
+        else ""
+    )
     print(
         f"{args.algo} on P={args.procs}: makespan {schedule.makespan:g} "
-        f"(V={graph.num_tasks}, E={graph.num_edges}{kernel_note})"
+        f"(V={graph.num_tasks}, E={graph.num_edges}{kernel_note}"
+        f"{machine_note})"
     )
     for key, value in summarize(schedule).items():
         print(f"  {key:>16s}: {value:.4g}")
@@ -418,11 +532,14 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     graph = _resolve_graph(args)
-    mcp_span = SCHEDULERS["mcp"](graph, args.procs).makespan
+    machine = MachineModel(args.procs)
+    mcp_span = SCHEDULERS["mcp"](graph, machine=machine).makespan
     rows = []
     for name in sorted(SCHEDULERS):
-        schedule = SCHEDULERS[name](graph, args.procs)
-        ms = time_scheduler(SCHEDULERS[name], graph, args.procs, repeats=1) * 1e3
+        schedule = SCHEDULERS[name](graph, machine=machine)
+        ms = time_scheduler(
+            SCHEDULERS[name], graph, machine=machine, repeats=1
+        ) * 1e3
         rows.append([name, schedule.makespan, schedule.makespan / mcp_span, ms])
     rows.sort(key=lambda r: r[1])
     print(
@@ -444,7 +561,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
         graph = paper_example()
     recorder = TraceRecorder(graph)
-    schedule = flb(graph, args.procs, observer=recorder)
+    schedule = flb(graph, machine=MachineModel(args.procs), observer=recorder)
     print(format_trace(recorder))
     print(f"\nmakespan = {schedule.makespan:g}")
     return 0
@@ -613,12 +730,19 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     import json as _json
     import time as _time
 
-    from repro.verify import certify, greedy_flavor
+    from repro.verify import certify, greedy_flavor, lint_machine
 
     graph = _resolve_graph(args)
+    machine = _machine_from_args(args, args.procs)
+    if machine is not None:
+        for issue in lint_machine(machine).issues:
+            print(f"machine: {issue.code} [{issue.severity}] {issue.message}",
+                  file=sys.stderr)
     reg = _obs_registry(args)
     t_sched = _time.perf_counter()
-    schedule, backend = _run_algorithm(args.algo, args.kernel, graph, args.procs)
+    schedule, backend = _run_algorithm(
+        args.algo, args.kernel, graph, args.procs, machine=machine
+    )
     t0 = _time.perf_counter()
     cert = certify(schedule, flavor=greedy_flavor(args.algo))
     elapsed = _time.perf_counter() - t0
@@ -658,7 +782,7 @@ def _cmd_execute(args: argparse.Namespace) -> int:
     from repro.sim import execute, execute_contended, execute_perturbed
 
     graph = _resolve_graph(args)
-    schedule = SCHEDULERS[args.algo](graph, args.procs)
+    schedule = SCHEDULERS[args.algo](graph, machine=MachineModel(args.procs))
     print(f"planned makespan ({args.algo}, P={args.procs}): {schedule.makespan:g}")
     exact = execute(schedule)
     print(f"contention-free replay: {exact.makespan:g} "
@@ -699,16 +823,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         batch_throughput,
     )
 
+    machine = _machine_from_args(
+        args, args.procs[0] if len(args.procs) == 1 else None
+    )
+    if machine is not None and len(args.procs) > 1:
+        print("machine flags require a single --procs value", file=sys.stderr)
+        return 2
     jobs = []
     for problem in args.problems:
         for seed in range(args.seeds):
             graph = _build_problem(problem, args.tasks, args.ccr, seed)
             for procs in args.procs:
                 for algo in args.algos:
-                    jobs.append(
-                        BatchJob(graph=graph, procs=procs, algo=algo,
-                                 tag=f"{problem}/s{seed}")
-                    )
+                    if machine is not None:
+                        jobs.append(
+                            BatchJob(graph=graph, machine=machine, algo=algo,
+                                     tag=f"{problem}/s{seed}")
+                        )
+                    else:
+                        jobs.append(
+                            BatchJob(graph=graph, procs=procs, algo=algo,
+                                     tag=f"{problem}/s{seed}")
+                        )
     reg = _obs_registry(args)
     options = SchedulingOptions(
         timeout=args.timeout, validate=args.validate, certify=args.certify,
@@ -803,6 +939,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"bad --tenant-weight {spec!r}; expected TENANT=WEIGHT",
                   file=sys.stderr)
             return 2
+    machine = _machine_from_args(args, None)
     options = SchedulingOptions(
         timeout=args.timeout, validate=args.validate,
         certify=args.certify, kernel=args.kernel,
@@ -812,7 +949,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config = ServeConfig(
             host=args.host, port=args.port, workers=args.workers,
             max_backlog=args.max_backlog, tenant_weights=weights,
-            options=options,
+            options=options, machine=machine,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)

@@ -24,10 +24,17 @@ otherwise, and every task runs for exactly its computation cost.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 __all__ = ["MachineModel"]
+
+#: Version tag mixed into :meth:`MachineModel.fingerprint`.  Bump it if the
+#: set of fingerprinted fields ever changes, so old persisted keys can never
+#: alias new ones.
+_FINGERPRINT_VERSION = b"machine-v1"
 
 
 @dataclass(frozen=True)
@@ -103,4 +110,77 @@ class MachineModel:
             self.comm_scale == 1.0
             and self.latency == 0.0
             and not self.is_heterogeneous
+        )
+
+    def fingerprint(self) -> str:
+        """Canonical hex digest of the model (cache/coalescing key material).
+
+        blake2b over the exact field values — ``num_procs``, ``comm_scale``,
+        ``latency`` and the ``speeds`` tuple (absent vs. present is part of
+        the digest, so ``MachineModel(4)`` and ``MachineModel(4, speeds=(1.0,
+        1.0, 1.0, 1.0))`` fingerprint differently, exactly as they compare
+        unequal).  Floats are packed as IEEE-754 doubles, so two models
+        fingerprint equal iff they are ``==``.  Memoized on the instance;
+        the dataclass is frozen, so the digest can never go stale.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return str(cached)
+        h = hashlib.blake2b(digest_size=16)
+        h.update(_FINGERPRINT_VERSION)
+        h.update(struct.pack("<q", self.num_procs))
+        h.update(struct.pack("<dd", self.comm_scale, self.latency))
+        if self.speeds is None:
+            h.update(b"homog")
+        else:
+            h.update(struct.pack(f"<{len(self.speeds)}d", *self.speeds))
+        digest = h.hexdigest()
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready document (the serve plane's ``machine`` object)."""
+        doc: Dict[str, Any] = {
+            "num_procs": self.num_procs,
+            "comm_scale": self.comm_scale,
+            "latency": self.latency,
+        }
+        if self.speeds is not None:
+            doc["speeds"] = list(self.speeds)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "MachineModel":
+        """Parse the :meth:`to_dict` document (strict: unknown keys raise).
+
+        Raises :class:`ValueError` on malformed input — wire-facing callers
+        (the HTTP front-end, ``--machine-json``) turn that into their own
+        400/usage errors.
+        """
+        if not isinstance(doc, Mapping):
+            raise ValueError(f"machine must be an object, got {type(doc).__name__}")
+        unknown = set(doc) - {"num_procs", "comm_scale", "latency", "speeds"}
+        if unknown:
+            raise ValueError(f"unknown machine field(s): {sorted(unknown)}")
+        num_procs = doc.get("num_procs")
+        if not isinstance(num_procs, int) or isinstance(num_procs, bool):
+            raise ValueError("machine.num_procs must be an integer")
+        comm_scale = doc.get("comm_scale", 1.0)
+        latency = doc.get("latency", 0.0)
+        for name, value in (("comm_scale", comm_scale), ("latency", latency)):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"machine.{name} must be a number")
+        speeds = doc.get("speeds")
+        if speeds is not None:
+            if not isinstance(speeds, (list, tuple)) or any(
+                isinstance(s, bool) or not isinstance(s, (int, float))
+                for s in speeds
+            ):
+                raise ValueError("machine.speeds must be a list of numbers")
+            speeds = tuple(float(s) for s in speeds)
+        return cls(
+            num_procs=num_procs,
+            comm_scale=float(comm_scale),
+            latency=float(latency),
+            speeds=speeds,
         )

@@ -23,10 +23,13 @@ entries, which is exactly right.
 :func:`repro.batch.schedule_many` consults it before dispatch and inserts
 successful results after; failures are never cached (timeouts and worker
 deaths are not deterministic, and a transiently failing scheduler should be
-re-tried, not remembered).  Jobs with a custom
-:class:`~repro.machine.model.MachineModel` are not cacheable (machines
-carry no content fingerprint) and bypass the cache entirely — they count
-neither hits nor misses.
+re-tried, not remembered).  The machine is part of the key: every key
+carries the :meth:`~repro.machine.model.MachineModel.fingerprint` of the
+machine the schedule was computed for, with ``machine=None`` resolving to
+the homogeneous default ``MachineModel(procs)`` — so the legacy
+integer-``procs`` spelling and the explicit homogeneous model share
+entries, while two machines with equal ``num_procs`` but different
+``speeds``/``latency``/``comm_scale`` can never collide.
 
 The cache is shared across batches by :class:`repro.batch.BatchScheduler`;
 counters surface through ``BatchScheduler.stats()``,
@@ -38,16 +41,20 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
+from repro.machine.model import MachineModel
+
 __all__ = ["ResultCache", "CacheKey", "make_key", "DEFAULT_CACHE_SIZE"]
 
 #: Default bound for :class:`ResultCache`; one entry is a few hundred bytes
 #: (a scalar ``BatchResult``), so the default costs well under a megabyte.
 DEFAULT_CACHE_SIZE = 1024
 
-#: Cache key: (graph fingerprint, procs, algo, validate, certify, kernel).
-#: ``kernel`` is the *resolved* backend name (``object``/``array``/``numba``),
-#: never a raw request like ``auto``.
-CacheKey = Tuple[str, int, str, bool, bool, str]
+#: Cache key: (graph fingerprint, procs, algo, validate, certify, kernel,
+#: machine fingerprint).  ``kernel`` is the *resolved* backend name
+#: (``object``/``array``/``numba``), never a raw request like ``auto``;
+#: the machine fingerprint is
+#: :meth:`repro.machine.model.MachineModel.fingerprint`.
+CacheKey = Tuple[str, int, str, bool, bool, str, str]
 
 
 def make_key(
@@ -57,21 +64,36 @@ def make_key(
     validate: bool,
     certify: bool,
     kernel: str,
+    machine: Optional[MachineModel] = None,
 ) -> CacheKey:
     """Build a :data:`CacheKey` (the one place its field order is spelled).
 
     ``kernel`` must already be resolved via
     :func:`repro.api.resolve_job_kernel`; passing ``auto`` here would split
-    the cache between spellings of the same backend.
+    the cache between spellings of the same backend.  ``machine=None``
+    resolves to the homogeneous ``MachineModel(procs)`` — the same model a
+    scheduler builds for an integer request — so both spellings of the
+    paper's machine share one entry.  A ``machine`` whose ``num_procs``
+    disagrees with ``procs`` is a :class:`ValueError`: such a request can
+    never be served, so a key for it is necessarily a bug.
     """
     if kernel == "auto":
         raise ValueError("cache keys require a resolved kernel, not 'auto'")
-    return (fingerprint, procs, algo, validate, certify, kernel)
+    if machine is None:
+        machine = MachineModel(procs)
+    elif machine.num_procs != procs:
+        raise ValueError(
+            f"cache key procs={procs} conflicts with machine.num_procs="
+            f"{machine.num_procs}"
+        )
+    return (fingerprint, procs, algo, validate, certify, kernel,
+            machine.fingerprint())
 
 
 class ResultCache:
     """Bounded LRU mapping ``(fingerprint, procs, algo, validate, certify,
-    kernel)`` to a successful :class:`~repro.batch.BatchResult`.
+    kernel, machine fingerprint)`` to a successful
+    :class:`~repro.batch.BatchResult`.
 
     ``capacity=0`` disables the cache (every lookup misses nothing — no
     counters move, nothing is stored), which keeps call sites free of

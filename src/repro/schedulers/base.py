@@ -10,6 +10,7 @@ meaningful.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Tuple
 
 from repro.exceptions import SchedulerError
@@ -17,16 +18,51 @@ from repro.graph.taskgraph import TaskGraph
 from repro.machine.model import MachineModel
 from repro.schedule.schedule import Schedule
 
-__all__ = ["resolve_machine", "emt_on", "est_on", "best_proc_for", "ReadyTracker"]
+__all__ = [
+    "resolve_machine",
+    "reset_scheduler_deprecations",
+    "emt_on",
+    "est_on",
+    "best_proc_for",
+    "ReadyTracker",
+]
+
+#: Warn-once latch for the legacy integer ``num_procs`` scheduler argument.
+_num_procs_warned = False
+
+
+def reset_scheduler_deprecations() -> None:
+    """Re-arm the one-per-process ``num_procs`` deprecation warning (tests)."""
+    global _num_procs_warned
+    _num_procs_warned = False
 
 
 def resolve_machine(
     num_procs: Optional[int], machine: Optional[MachineModel]
 ) -> MachineModel:
-    """Resolve the (num_procs, machine) argument pair used by every scheduler."""
+    """Resolve the (num_procs, machine) argument pair used by every scheduler.
+
+    ``machine`` is the canonical spelling; a bare integer ``num_procs``
+    still resolves to the homogeneous ``MachineModel(num_procs)`` but is
+    deprecated (one :class:`DeprecationWarning` per process — this shim is
+    the single place every scheduler's legacy argument funnels through).
+    Passing both with disagreeing processor counts is a
+    :class:`~repro.exceptions.SchedulerError`.
+    """
+    global _num_procs_warned
     if machine is None:
         if num_procs is None:
             raise SchedulerError("scheduler requires num_procs or machine")
+        if not _num_procs_warned:
+            _num_procs_warned = True
+            warnings.warn(
+                "calling a scheduler with an integer num_procs is "
+                "deprecated; pass machine=MachineModel(num_procs) instead "
+                "(see docs/machine-model.md). This warning is emitted once "
+                "per process.",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         return MachineModel(num_procs)
     if num_procs is not None and machine.num_procs != num_procs:
         raise SchedulerError(

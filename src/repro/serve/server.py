@@ -13,9 +13,11 @@ long-running process (stdlib only — ``asyncio`` + the library itself):
 * **weighted-fair queuing** (:class:`repro.serve.queues.WeightedFairQueue`)
   orders admitted jobs so no tenant starves another;
 * **coalescing**: concurrent requests for the same
-  ``(fingerprint, procs, algo, validate, certify, kernel)`` share a single
-  computation — the same resolved-kernel key the result cache uses, so a
-  coalesced answer is exactly the answer a cache hit would give;
+  ``(fingerprint, procs, algo, validate, certify, kernel, machine)`` share
+  a single computation — the same machine-fingerprinted key the result
+  cache uses, so a coalesced answer is exactly the answer a cache hit
+  would give and two requests that differ only in processor speeds never
+  share one;
 * **dispatchers** pull from the fair queue and run
   :meth:`repro.batch.BatchScheduler.run_one` via ``asyncio.to_thread`` —
   the scheduler (and its metrics registry) is not thread-safe, so the
@@ -51,6 +53,7 @@ from typing import (
 from repro.api import SchedulingOptions, resolve_job_kernel
 from repro.batch import BatchJob, BatchResult, BatchScheduler
 from repro.graph.io import from_json
+from repro.machine.model import MachineModel
 from repro.obs import ServeInstruments, render_prometheus
 from repro.resultcache import CacheKey, make_key as make_cache_key
 from repro.serve.admission import AdmissionController, ShedError
@@ -85,8 +88,11 @@ class ServeConfig:
     thread-safe runner — the default runner serialises on a lock.
     ``options`` seeds the wrapped scheduler's defaults (procs-independent
     fields: validate/certify/kernel/timeout/retries); per-request fields
-    override it.  ``port`` 0 binds an ephemeral port (the chosen one is
-    printed as ``serving on host:port`` and exposed by
+    override it.  ``machine`` is the default target
+    :class:`~repro.machine.MachineModel` for requests that do not carry a
+    ``machine`` object of their own (a bare ``procs`` request resolves to
+    the homogeneous clique as before).  ``port`` 0 binds an ephemeral port
+    (the chosen one is printed as ``serving on host:port`` and exposed by
     :attr:`BackgroundServer.port`).
     """
 
@@ -100,6 +106,7 @@ class ServeConfig:
     max_body_bytes: int = 32 * 1024 * 1024
     drain_grace: float = 10.0
     options: Optional[SchedulingOptions] = None
+    machine: Optional[MachineModel] = None
 
     def __post_init__(self) -> None:
         if self.dispatchers < 1:
@@ -122,6 +129,7 @@ class _Work:
     future: "asyncio.Future[BatchResult]"
     tenant: str
     enqueued_at: float
+    machine: MachineModel
 
 
 class SchedulingService:
@@ -266,7 +274,7 @@ class SchedulingService:
             # from killing the shared computation.
             self.instruments.coalesced()
             result = await asyncio.shield(existing)
-            return _result_payload(result, coalesced=True)
+            return _result_payload(result, coalesced=True, machine=work.machine)
         backlog = self.queue.qsize() + self._active
         try:
             self.admission.admit(backlog, draining=self._draining)
@@ -282,7 +290,7 @@ class SchedulingService:
         self.instruments.admitted(backlog)
         self.instruments.queue_depth(self.queue.qsize())
         result = await asyncio.shield(work.future)
-        return _result_payload(result, coalesced=False)
+        return _result_payload(result, coalesced=False, machine=work.machine)
 
     # -- internals -----------------------------------------------------------
 
@@ -307,8 +315,31 @@ class SchedulingService:
                 f"POST it to /v1/graphs first"
             )
         procs = payload.get("procs")
-        if not isinstance(procs, int) or isinstance(procs, bool) or procs < 1:
+        if procs is not None and (
+            not isinstance(procs, int) or isinstance(procs, bool) or procs < 1
+        ):
             raise BadRequestError("'procs' must be an integer >= 1")
+        machine_doc = payload.get("machine")
+        machine: Optional[MachineModel] = None
+        if machine_doc is not None:
+            if not isinstance(machine_doc, dict):
+                raise BadRequestError("'machine' must be a JSON object")
+            try:
+                machine = MachineModel.from_dict(machine_doc)
+            except (TypeError, ValueError) as exc:
+                raise BadRequestError(f"invalid 'machine': {exc}") from None
+        if machine is None:
+            machine = self.config.machine
+        if machine is None:
+            if procs is None:
+                raise BadRequestError("'procs' must be an integer >= 1")
+            machine = MachineModel(procs)
+        elif procs is not None and procs != machine.num_procs:
+            raise BadRequestError(
+                f"'procs' ({procs}) conflicts with machine.num_procs "
+                f"({machine.num_procs})"
+            )
+        procs = machine.num_procs
         base = self.scheduler.options
         algo = payload.get("algo", base.algorithm)
         if not isinstance(algo, str):
@@ -350,10 +381,11 @@ class SchedulingService:
             options.validate,
             options.certify,
             resolved_kernel,
+            machine=machine,
         )
         job = BatchJob(
             graph=None, procs=procs, algo=algo, tag=tag, graph_key=graph_key,
-            base_fingerprint=base_fingerprint,
+            base_fingerprint=base_fingerprint, machine=machine,
         )
         future: "asyncio.Future[BatchResult]" = (
             asyncio.get_running_loop().create_future()
@@ -368,6 +400,7 @@ class SchedulingService:
             future=future,
             tenant=tenant,
             enqueued_at=time.monotonic(),
+            machine=machine,
         )
 
     def _run_locked(self, job: BatchJob, options: SchedulingOptions) -> BatchResult:
@@ -416,7 +449,11 @@ def _consume_exception(future: "asyncio.Future[BatchResult]") -> None:
         future.exception()
 
 
-def _result_payload(result: BatchResult, coalesced: bool) -> Dict[str, Any]:
+def _result_payload(
+    result: BatchResult,
+    coalesced: bool,
+    machine: Optional[MachineModel] = None,
+) -> Dict[str, Any]:
     """The JSON summary for one completed schedule."""
     payload: Dict[str, Any] = {
         "ok": result.ok,
@@ -434,6 +471,8 @@ def _result_payload(result: BatchResult, coalesced: bool) -> Dict[str, Any]:
         "attempts": result.attempts,
         "certified": result.certified,
     }
+    if machine is not None:
+        payload["machine"] = machine.to_dict()
     if result.phases is not None:
         payload["phases"] = dict(result.phases)
     if result.warm is not None:

@@ -9,8 +9,14 @@ Two independent planes sit in front of and behind the schedulers:
 * :mod:`repro.verify.certify` checks a produced :class:`~repro.schedule.Schedule`
   *after* scheduling — an independent checker, deliberately sharing no code
   with the scheduling kernels, that verifies the paper's formal invariants
-  (codes ``S001``..) and, for FLB/ETF, the Theorem-3 greedy certificate
-  (codes ``F001``..).
+  (codes ``S001``..), the FLB/ETF Theorem-3 greedy certificate
+  (``F001``/``F002``), and the HEFT related-machines replay certificate
+  (``F003``).
+
+:func:`~repro.verify.graphlint.lint_machine` extends the pre-scheduling
+plane to the machine model itself (codes ``M001``..): degenerate
+configurations — single processor, extreme speed skew, communication-free
+machines — that schedule fine but rarely mean what the experiment intended.
 
 See ``docs/verification.md`` for the full rule catalogue.
 """
@@ -29,6 +35,7 @@ from repro.verify.graphlint import (
     find_cycle,
     lint,
     lint_data,
+    lint_machine,
     rule_catalogue,
 )
 
@@ -42,5 +49,6 @@ __all__ = [
     "find_cycle",
     "lint",
     "lint_data",
+    "lint_machine",
     "rule_catalogue",
 ]

@@ -39,8 +39,21 @@ every step recomputes the paper's two candidate pairs:
   breaks such ties toward the non-EP task, whose communication is already
   overlapped with computation.
 
+**Related-machines replay certificate** (``F003``, flavour ``"heft"``) —
+for HEFT schedules on (possibly heterogeneous) related machines the
+checker recomputes the upward ranks from the machine model's mean
+durations, replays the tasks in decreasing-rank order, and at each step
+scans every processor for the insertion-based earliest finish time given
+the placements recorded so far (speed-scaled durations ``comp/speed(p)``,
+message arrivals ``scale * comm + latency``).  ``F003`` fires when a
+recorded finish time exceeds the best achievable finish at that step —
+the schedule is not the greedy insertion-based EFT schedule the
+algorithm promises (cf. the list-scheduling analyses on related machines,
+arXiv:2004.14639).
+
 Structural checks cost ``O(E + V log V)`` (the sort dominates); the greedy
-replay adds ``O(E + V·W)`` where ``W`` is the peak ready-set width.  The
+replay adds ``O(E + V·W)`` where ``W`` is the peak ready-set width, and the
+HEFT replay ``O(V·P·K + E)`` with ``K`` the peak per-processor queue.  The
 certificate is machine-readable (:meth:`Certificate.to_dict`) and surfaces
 through ``Schedule.validate()``, the batch plane (``certify=``), and
 ``repro-sched certify``.
@@ -59,9 +72,10 @@ _EPS = 1e-9
 
 #: Algorithms whose output carries an ETF-greedy certificate obligation.
 #: FLB additionally promises the non-EP tie rule (F002); plain ETF only the
-#: minimum-EST invariant (F001).  Everything else (MCP, FCP, DLS, ...) is
-#: checked structurally only.
-_GREEDY_FLAVORS: Dict[str, str] = {"flb": "flb", "etf": "etf"}
+#: minimum-EST invariant (F001); HEFT owes the related-machines replay
+#: certificate (F003).  Everything else (MCP, FCP, DLS, ...) is checked
+#: structurally only.
+_GREEDY_FLAVORS: Dict[str, str] = {"flb": "flb", "etf": "etf", "heft": "heft"}
 
 
 def greedy_flavor(algo: str) -> Optional[str]:
@@ -143,15 +157,19 @@ def certify(
     """Independently verify ``schedule``; optionally add a greedy certificate.
 
     ``flavor`` selects the greedy obligation: ``None`` checks structural
-    invariants only, ``"etf"`` adds the minimum-EST replay (F001), and
-    ``"flb"`` additionally enforces the non-EP tie rule (F002).
+    invariants only, ``"etf"`` adds the minimum-EST replay (F001),
+    ``"flb"`` additionally enforces the non-EP tie rule (F002), and
+    ``"heft"`` runs the related-machines insertion-EFT replay (F003).
     """
-    if flavor not in (None, "flb", "etf"):
+    if flavor not in (None, "flb", "etf", "heft"):
         raise ValueError(f"unknown greedy flavor {flavor!r}")
     violations = _structural_violations(schedule, eps)
     greedy_checked = False
     if flavor is not None and not violations and schedule.complete:
-        violations.extend(_greedy_violations(schedule, flavor, eps))
+        if flavor == "heft":
+            violations.extend(_heft_replay_violations(schedule, eps))
+        else:
+            violations.extend(_greedy_violations(schedule, flavor, eps))
         greedy_checked = True
     return Certificate(
         ok=not violations,
@@ -454,4 +472,113 @@ def _greedy_violations(
             # One greedy violation invalidates every later replay state;
             # stop at the first to keep the report actionable.
             break
+    return out
+
+
+# -- related-machines replay certificate (F003) ------------------------------
+
+
+def _heft_replay_violations(schedule: Schedule, eps: float) -> List[Violation]:
+    """Replay HEFT's insertion-based EFT loop and check each recorded finish.
+
+    The replay is fully independent of :mod:`repro.schedulers.heft`: upward
+    ranks are recomputed here from the machine model's mean durations, tasks
+    are visited in decreasing-rank order (ties toward the lower task id —
+    the algorithm's own order), and for every task the insertion-based
+    earliest finish time is rescanned over all processors against the
+    placements *recorded for the tasks replayed so far*.  Message arrivals
+    use the recorded predecessor processors, so the lower bound is exactly
+    the one the algorithm faced at that step.  ``F003`` fires when the
+    recorded finish exceeds the best achievable finish: on related machines
+    this catches placements that ignore processor speeds (a slow processor's
+    scaled duration loses the EFT scan) as well as gaps the insertion policy
+    would have used.
+    """
+    graph = schedule.graph
+    machine = schedule.machine
+
+    # Upward ranks from mean durations, over reverse topological order.
+    rank = [0.0] * graph.num_tasks
+    for t in reversed(graph.topological_order):
+        best = 0.0
+        for succ in graph.succs(t):
+            via = machine.remote_delay(graph.comm(t, succ)) + rank[succ]
+            if via > best:
+                best = via
+        rank[t] = machine.mean_duration(graph.comp(t)) + best
+
+    order = sorted(graph.tasks(), key=lambda t: (-rank[t], t))
+
+    # Per-processor busy intervals of the tasks replayed so far, kept sorted
+    # by start time — mirrors Schedule.earliest_gap's position-ordered scan.
+    busy: List[List[Tuple[float, float]]] = [[] for _ in machine.procs]
+    replayed = [False] * graph.num_tasks
+
+    out: List[Violation] = []
+    for step, t in enumerate(order):
+        for pred in graph.preds(t):
+            if not replayed[pred]:
+                out.append(
+                    Violation(
+                        "F003",
+                        f"replay step {step}: task {t} precedes its "
+                        f"predecessor {pred} in rank order (replay desync)",
+                        task=t,
+                    )
+                )
+                break
+        if out:
+            break
+
+        comp = graph.comp(t)
+        best_finish = float("inf")
+        for p in machine.procs:
+            duration = machine.duration(comp, p)
+            lower = 0.0
+            for pred in graph.preds(t):
+                arrival = schedule.finish_of(pred) + machine.comm_delay(
+                    schedule.proc_of(pred), p, graph.comm(pred, t)
+                )
+                if arrival > lower:
+                    lower = arrival
+            # Insertion scan: first gap on p fitting `duration` at or after
+            # `lower` (same tolerance discipline as Schedule.earliest_gap).
+            candidate = lower if lower > 0.0 else 0.0
+            for s, f in busy[p]:
+                if s - candidate >= duration - eps:
+                    break
+                if f > candidate:
+                    candidate = f
+            finish = candidate + duration
+            if finish < best_finish:
+                best_finish = finish
+
+        recorded_finish = schedule.finish_of(t)
+        if recorded_finish > best_finish + eps:
+            out.append(
+                Violation(
+                    "F003",
+                    f"replay step {step}: task {t} finishes at "
+                    f"{recorded_finish} but the insertion-based EFT scan "
+                    f"achieves {best_finish} (related-machines replay "
+                    f"certificate violated)",
+                    task=t,
+                    proc=schedule.proc_of(t),
+                )
+            )
+            break
+
+        # Commit the recorded placement for the remaining steps.
+        p = schedule.proc_of(t)
+        interval = (schedule.start_of(t), recorded_finish)
+        row = busy[p]
+        lo, hi = 0, len(row)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if row[mid][0] < interval[0]:
+                lo = mid + 1
+            else:
+                hi = mid
+        row.insert(lo, interval)
+        replayed[t] = True
     return out

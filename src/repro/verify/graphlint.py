@@ -14,6 +14,13 @@ cannot or deliberately does not reject:
   isolated tasks, multi-component graphs, zero-cost super-sources/sinks,
   extreme communication-to-computation outliers.
 
+A small companion checker, :func:`lint_machine`, does the same for the
+*machine* side of a scheduling problem: degenerate
+:class:`~repro.machine.MachineModel` configurations (codes ``M001``..) that
+are legal models but usually mean the experiment is not measuring what its
+author thinks — a single processor, extreme speed skew, a communication-free
+machine, or a redundant all-equal ``speeds`` vector.
+
 Every check is a registered :class:`LintRule` with a stable code
 (``G001``..), a severity (``error`` / ``warning`` / ``info``) and a title;
 :func:`rule_catalogue` lists them all (rendered in ``docs/verification.md``).
@@ -33,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graph.taskgraph import TaskGraph
+from repro.machine.model import MachineModel
 
 __all__ = [
     "ERROR",
@@ -44,6 +52,7 @@ __all__ = [
     "find_cycle",
     "lint",
     "lint_data",
+    "lint_machine",
     "rule_catalogue",
 ]
 
@@ -58,6 +67,11 @@ EXTREME_CCR = 100.0
 #: outlier.  (The median, unlike the mean, is not dragged up by the outlier
 #: itself.)
 EDGE_OUTLIER_FACTOR = 1000.0
+
+#: Fastest-over-slowest speed ratio at or above which rule M002 fires: the
+#: slow processors are effectively decorative and the "parallel" machine is
+#: really the fast ones plus stragglers.
+EXTREME_SPEED_SKEW = 100.0
 
 
 @dataclass(frozen=True)
@@ -527,6 +541,81 @@ def lint(graph: TaskGraph) -> LintReport:
         edges=tuple(graph.edges()),
     )
     return _run_rules(data)
+
+
+def lint_machine(machine: MachineModel) -> LintReport:
+    """Lint a :class:`~repro.machine.MachineModel` for degenerate configs.
+
+    Machine checks carry ``M``-codes and ride the same :class:`LintReport`
+    vehicle as the graph rules (``num_tasks``/``num_edges`` are zero — there
+    is no graph in play):
+
+    * ``M001`` (warning) — a single processor: every schedule is the serial
+      order and comparisons against parallel baselines are vacuous;
+    * ``M002`` (warning) — extreme speed skew (fastest/slowest at or above
+      :data:`EXTREME_SPEED_SKEW`): the slow processors contribute noise, not
+      parallelism;
+    * ``M003`` (info) — a communication-free machine (``comm_scale == 0``
+      and ``latency == 0``): remote messages are free, so placement quality
+      degenerates to pure load balancing;
+    * ``M004`` (info) — an explicit ``speeds`` vector whose entries are all
+      equal: the model is homogeneous but will *not* compare or fingerprint
+      equal to the plain ``MachineModel(P)`` spelling, which silently splits
+      result-cache entries.
+    """
+    issues: List[LintIssue] = []
+    if machine.num_procs == 1:
+        issues.append(
+            LintIssue(
+                code="M001",
+                severity=WARNING,
+                message=(
+                    "machine has a single processor: every schedule is the "
+                    "serial order"
+                ),
+            )
+        )
+    if machine.speeds is not None:
+        fastest = max(machine.speeds)
+        slowest = min(machine.speeds)
+        if slowest > 0 and fastest / slowest >= EXTREME_SPEED_SKEW:
+            issues.append(
+                LintIssue(
+                    code="M002",
+                    severity=WARNING,
+                    message=(
+                        f"extreme speed skew {fastest / slowest:.3g} "
+                        f"(>= {EXTREME_SPEED_SKEW:g}): slowest processors "
+                        f"are effectively decorative"
+                    ),
+                )
+            )
+        if len(set(machine.speeds)) == 1:
+            issues.append(
+                LintIssue(
+                    code="M004",
+                    severity=INFO,
+                    message=(
+                        f"speeds vector is uniform ({machine.speeds[0]:g} "
+                        f"everywhere): model behaves homogeneously but is "
+                        f"not equal to MachineModel({machine.num_procs}) — "
+                        f"cache keys and fingerprints will differ"
+                    ),
+                )
+            )
+    if machine.comm_scale == 0.0 and machine.latency == 0.0:
+        issues.append(
+            LintIssue(
+                code="M003",
+                severity=INFO,
+                message=(
+                    "communication-free machine (comm_scale=0, latency=0): "
+                    "remote messages cost nothing and placement reduces to "
+                    "load balancing"
+                ),
+            )
+        )
+    return LintReport(issues=tuple(issues), num_tasks=0, num_edges=0)
 
 
 def lint_data(

@@ -1,0 +1,7 @@
+"""A304 trigger: SchedulingOptions built with the legacy procs= shim."""
+
+from repro.api import SchedulingOptions
+
+
+def build_options():
+    return SchedulingOptions(procs=8, validate=True)

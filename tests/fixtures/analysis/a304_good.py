@@ -1,0 +1,13 @@
+"""A304 non-trigger: the machine is spelled explicitly."""
+
+from repro.api import SchedulingOptions
+from repro.machine import MachineModel
+
+
+def build_options():
+    return SchedulingOptions(machine=MachineModel(8), validate=True)
+
+
+def forward_options(procs=None):
+    # procs=None is the field default, not the legacy integer shim.
+    return SchedulingOptions(procs=None, machine=MachineModel(8))

@@ -36,6 +36,7 @@ RULE_CODES = (
     "A301",
     "A302",
     "A303",
+    "A304",
 )
 
 

@@ -7,7 +7,8 @@ import warnings
 
 import pytest
 
-from repro import BatchScheduler, MetricsRegistry, SchedulingOptions, schedule_graph
+from repro import BatchScheduler, MachineModel, MetricsRegistry, SchedulingOptions, schedule_graph
+from repro.api import reset_options_deprecations
 from repro.batch import BatchJob, schedule_many
 from repro.util.rng import make_rng
 from repro.workloads import lu, stencil
@@ -35,9 +36,10 @@ class TestSchedulingOptions:
             opts.procs = 4
 
     def test_replace(self):
-        opts = SchedulingOptions(procs=4)
+        opts = SchedulingOptions(machine=MachineModel(4))
         other = opts.replace(algorithm="etf", certify=True)
         assert (other.procs, other.algorithm, other.certify) == (4, "etf", True)
+        assert other.machine == MachineModel(4)
         assert opts.algorithm == "flb"  # original untouched
 
     @pytest.mark.parametrize("bad", [
@@ -52,9 +54,55 @@ class TestSchedulingOptions:
             SchedulingOptions(**bad)
 
 
+class TestProcsFieldShim:
+    """The legacy integer ``procs=`` field: warn-once, mirror, mixing."""
+
+    def test_procs_field_warns_once_per_process(self):
+        reset_options_deprecations()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            SchedulingOptions(procs=4)
+            SchedulingOptions(procs=8)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "machine=MachineModel" in str(deprecations[0].message)
+
+    def test_procs_resolves_to_homogeneous_machine(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            opts = SchedulingOptions(procs=4)
+        assert opts.machine == MachineModel(4)
+        assert opts.procs == 4
+
+    def test_machine_backfills_procs_mirror(self):
+        opts = SchedulingOptions(machine=MachineModel(6))
+        assert opts.procs == 6
+
+    def test_mixing_procs_and_machine_raises(self):
+        with pytest.raises(TypeError):
+            SchedulingOptions(procs=4, machine=MachineModel(4))
+
+    def test_replace_procs_rebuilds_machine(self):
+        opts = SchedulingOptions(machine=MachineModel(4))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            other = opts.replace(procs=8)
+        assert other.machine == MachineModel(8)
+
+    def test_legacy_form_is_bit_identical(self, graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = schedule_graph(graph, SchedulingOptions(procs=4))
+        modern = schedule_graph(graph, SchedulingOptions(machine=MachineModel(4)))
+        assert legacy.makespan == modern.makespan
+        for task in range(graph.num_tasks):
+            assert legacy.proc_of(task) == modern.proc_of(task)
+            assert legacy.start_of(task) == modern.start_of(task)
+
+
 class TestScheduleGraph:
     def test_options_positional_and_keyword_agree(self, graph):
-        opts = SchedulingOptions(procs=4, algorithm="etf")
+        opts = SchedulingOptions(machine=MachineModel(4), algorithm="etf")
         a = schedule_graph(graph, opts)
         b = schedule_graph(graph, options=opts)
         assert a.makespan == b.makespan
@@ -71,7 +119,9 @@ class TestScheduleGraph:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
             legacy = schedule_graph(graph, 4, algorithm="mcp")
-        modern = schedule_graph(graph, SchedulingOptions(procs=4, algorithm="mcp"))
+        modern = schedule_graph(
+            graph, SchedulingOptions(machine=MachineModel(4), algorithm="mcp")
+        )
         assert legacy.makespan == modern.makespan
         for task in range(graph.num_tasks):
             assert legacy.proc_of(task) == modern.proc_of(task)
@@ -80,23 +130,25 @@ class TestScheduleGraph:
     def test_no_warning_for_options_form(self, graph):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            schedule_graph(graph, SchedulingOptions(procs=4))
+            schedule_graph(graph, SchedulingOptions(machine=MachineModel(4)))
 
     def test_mixing_styles_raises(self, graph):
+        opts = SchedulingOptions(machine=MachineModel(4))
         with pytest.raises(TypeError):
-            schedule_graph(graph, 4, options=SchedulingOptions(procs=4))
+            schedule_graph(graph, 4, options=opts)
         with pytest.raises(TypeError):
-            schedule_graph(graph, SchedulingOptions(procs=4),
-                           options=SchedulingOptions(procs=4))
+            schedule_graph(graph, opts, options=opts)
 
     def test_validate_and_certify(self, graph):
-        s = schedule_graph(graph, SchedulingOptions(procs=4, certify=True))
+        s = schedule_graph(
+            graph, SchedulingOptions(machine=MachineModel(4), certify=True)
+        )
         assert s.makespan > 0
 
     def test_metrics_records_kernel_span(self, graph):
         reg = MetricsRegistry()
-        schedule_graph(graph, SchedulingOptions(procs=4, metrics=reg,
-                                                certify=True))
+        schedule_graph(graph, SchedulingOptions(machine=MachineModel(4),
+                                                metrics=reg, certify=True))
         names = [e["name"] for e in reg.events]
         assert names == ["sched.kernel", "verify.certify"]
         assert reg.histogram("sched_kernel_seconds").count == 1
@@ -201,7 +253,7 @@ class TestBatchScheduler:
 class TestCrossEntryPointAgreement:
     def test_same_options_same_schedule(self):
         graph = stencil(5, 4, make_rng(3), ccr=0.5)
-        opts = SchedulingOptions(procs=4, algorithm="flb")
+        opts = SchedulingOptions(machine=MachineModel(4), algorithm="flb")
         direct = schedule_graph(graph, opts)
         (via_many,) = schedule_many([BatchJob(graph=graph, procs=4)], workers=1)
         with BatchScheduler(workers=1) as bs:

@@ -149,16 +149,22 @@ class TestKeyedDispatch:
         assert stats["dispatched"] == 3 and stats["coalesced"] == 0
         assert not any(r.cached for r in results)
 
-    def test_machine_jobs_are_not_coalesced(self):
+    def test_machine_jobs_coalesce_by_fingerprint(self):
+        # Custom machines used to bypass the cache entirely; the machine
+        # fingerprint is now part of the key, so identical machine jobs
+        # coalesce while distinct machines never share a dispatch.
         g = lu(6, make_rng(0))
         machine = MachineModel(3, comm_scale=2.0)
         jobs = [BatchJob(graph=g, procs=3, machine=machine, tag=str(i))
                 for i in range(2)]
+        jobs.append(BatchJob(graph=g, machine=MachineModel(3), tag="plain"))
         stats = {}
         results = schedule_many(jobs, workers=2, cache=ResultCache(8),
                                 stats_out=stats)
         assert all(r.ok for r in results)
-        assert stats["dispatched"] == 2 and stats["coalesced"] == 0
+        assert stats["dispatched"] == 2 and stats["coalesced"] == 1
+        assert results[0].makespan == results[1].makespan
+        assert results[2].makespan != results[0].makespan
 
 
 class TestResultCache:
@@ -236,14 +242,21 @@ class TestResultCache:
         with pytest.raises(ValueError, match="resolved"):
             make_key("fp", 3, "flb", False, False, "auto")
 
-    def test_machine_jobs_bypass_the_cache(self):
+    def test_machine_jobs_cache_under_their_fingerprint(self):
+        # Custom machines used to bypass the cache; they now key on the
+        # machine fingerprint, so a repeat is a hit while a different
+        # model for the same procs never shares the entry.
         g = lu(6, make_rng(0))
         cache = ResultCache(8)
         job = BatchJob(graph=g, procs=3, machine=MachineModel(3, latency=1.0))
-        schedule_many([job], cache=cache)
-        schedule_many([job], cache=cache)
-        assert len(cache) == 0
-        assert cache.hits == 0 and cache.misses == 0
+        (first,) = schedule_many([job], cache=cache)
+        (again,) = schedule_many([job], cache=cache)
+        assert len(cache) == 1
+        assert again.cached and again.makespan == first.makespan
+        other = BatchJob(graph=g, machine=MachineModel(3, latency=2.0))
+        (miss,) = schedule_many([other], cache=cache)
+        assert not miss.cached
+        assert len(cache) == 2
 
     def test_failures_are_not_cached(self):
         g = lu(6, make_rng(0))

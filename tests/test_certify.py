@@ -281,7 +281,8 @@ class TestBatchCertification:
         from repro.batch import INVALID_SCHEDULE, BatchJob, schedule_many
 
         def broken(graph, num_procs=None, machine=None):
-            return sequential_schedule(graph, num_procs)
+            procs = machine.num_procs if machine is not None else num_procs
+            return sequential_schedule(graph, procs)
 
         monkeypatch.setitem(schedulers.SCHEDULERS, "flb", broken)
         res = schedule_many(
@@ -299,7 +300,8 @@ class TestBatchCertification:
         from repro.resultcache import ResultCache
 
         def broken(graph, num_procs=None, machine=None):
-            return sequential_schedule(graph, num_procs)
+            procs = machine.num_procs if machine is not None else num_procs
+            return sequential_schedule(graph, procs)
 
         monkeypatch.setitem(schedulers.SCHEDULERS, "flb", broken)
         cache = ResultCache(16)

@@ -434,12 +434,12 @@ class TestApiWiring:
         g = stencil(6, 15, make_rng(20))
         exit_task = g.exit_tasks[0]
         mutant = _rebuild(g, comp={exit_task: g.comp(exit_task) * 0.5})
-        opts = SchedulingOptions(procs=4, kernel="array", warm_start=True)
+        opts = SchedulingOptions(machine=MachineModel(4), kernel="array", warm_start=True)
         schedule_graph(g, opts)  # populates the base LRU
         assert len(base_cache()) == 1
         warm = schedule_graph(mutant, opts)
         cold = schedule_graph(_rebuild(mutant),
-                              SchedulingOptions(procs=4, kernel="array"))
+                              SchedulingOptions(machine=MachineModel(4), kernel="array"))
         assert_bit_identical(cold, warm, "schedule_graph warm")
 
     def test_explicit_base_beats_cache(self):
@@ -448,17 +448,17 @@ class TestApiWiring:
         exit_task = g.exit_tasks[0]
         mutant = _rebuild(g, comp={exit_task: g.comp(exit_task) * 0.5})
         warm = schedule_graph(
-            mutant, SchedulingOptions(procs=4, kernel="array"), base=base
+            mutant, SchedulingOptions(machine=MachineModel(4), kernel="array"), base=base
         )
         cold = schedule_graph(_rebuild(mutant),
-                              SchedulingOptions(procs=4, kernel="array"))
+                              SchedulingOptions(machine=MachineModel(4), kernel="array"))
         assert_bit_identical(cold, warm, "explicit base")
 
     def test_certified_warm_start(self):
         g = stencil(6, 15, make_rng(22))
         exit_task = g.exit_tasks[0]
         mutant = _rebuild(g, comp={exit_task: g.comp(exit_task) * 0.5})
-        opts = SchedulingOptions(procs=4, kernel="array", warm_start=True,
+        opts = SchedulingOptions(machine=MachineModel(4), kernel="array", warm_start=True,
                                  certify=True)
         schedule_graph(g, opts)
         schedule = schedule_graph(mutant, opts)  # raises if cert fails
@@ -485,7 +485,7 @@ class TestBatchWiring:
         assert r2[0].kernel == "array"
         assert reg.total("incr_warm_total") == 1.0
         cold = schedule_graph(_rebuild(mutant),
-                              SchedulingOptions(procs=4, kernel="array"))
+                              SchedulingOptions(machine=MachineModel(4), kernel="array"))
         assert r2[0].makespan == cold.makespan
 
     def test_warm_off_leaves_results_unannotated(self):

@@ -24,6 +24,7 @@ import pytest
 import repro.core.flb_array as flb_array_mod
 from repro.api import SchedulingOptions, schedule_graph
 from repro.core.flb import flb
+from repro.machine import MachineModel
 from repro.core.flb_array import (
     KERNEL_CHOICES,
     KernelSelectionError,
@@ -100,7 +101,7 @@ class TestEnvOverride:
         graph = erdos_dag(40, 0.2, make_rng(5))
         monkeypatch.setenv("REPRO_KERNEL", "array")
         ref = flb(graph, 4)
-        sched = schedule_graph(graph, SchedulingOptions(procs=4, kernel="object"))
+        sched = schedule_graph(graph, SchedulingOptions(machine=MachineModel(4), kernel="object"))
         assert sched.makespan == ref.makespan
         assert all(
             sched.proc_of(t) == ref.proc_of(t)
@@ -162,7 +163,7 @@ class TestMissingNumba:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
             sched = schedule_graph(
-                graph, SchedulingOptions(procs=3, kernel="numba")
+                graph, SchedulingOptions(machine=MachineModel(3), kernel="numba")
             )
         assert sched.makespan == ref.makespan
 

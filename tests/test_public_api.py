@@ -54,6 +54,11 @@ class TestPublicSurface:
 class TestLazyBindings:
     """The lazy names must resolve to their canonical definitions."""
 
+    def test_machine_model_is_machine_module(self):
+        from repro.machine import MachineModel
+
+        assert repro.MachineModel is MachineModel
+
     def test_schedule_graph_is_api_module(self):
         from repro.api import schedule_graph
 

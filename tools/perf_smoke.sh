@@ -34,6 +34,10 @@ if [ "${REPRO_SMOKE_CERTIFY:-0}" = "1" ]; then
         python -m repro.cli certify --problem "$prob" --tasks 300 \
             --procs 8 --algo flb
     done
+    # Speed-scaled machine through the F003 replay certificate: a
+    # related-machines HEFT run must certify on a 4x-skew model.
+    python -m repro.cli certify --problem lu --tasks 300 \
+        --procs 4 --algo heft --speeds 4.0 2.0 1.0 1.0 --comm-scale 2.0
     echo "perf smoke certification OK"
 fi
 
